@@ -1,0 +1,35 @@
+//! Figure 5 at micro scale: end-to-end pipeline time of KnightKing, HuGE-D
+//! and DistGER on a small Flickr stand-in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distger_bench::{bench_dataset, BenchScale};
+use distger_core::{run_pipeline, DistGerConfig};
+use distger_graph::generate::PaperDataset;
+use std::hint::black_box;
+
+fn small(config: DistGerConfig) -> DistGerConfig {
+    let mut config = config;
+    config.training.dim = 32;
+    config.training.epochs = 1;
+    config.training.sync_rounds_per_epoch = 2;
+    config
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let graph = bench_dataset(PaperDataset::Flickr, BenchScale::Smoke, 11);
+    let mut group = c.benchmark_group("end_to_end_flickr_standin");
+    group.sample_size(10);
+    group.bench_function("knightking", |b| {
+        b.iter(|| black_box(run_pipeline(&graph, &small(DistGerConfig::knightking(4)))))
+    });
+    group.bench_function("huge_d", |b| {
+        b.iter(|| black_box(run_pipeline(&graph, &small(DistGerConfig::huge_d(4)))))
+    });
+    group.bench_function("distger", |b| {
+        b.iter(|| black_box(run_pipeline(&graph, &small(DistGerConfig::distger(4)))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

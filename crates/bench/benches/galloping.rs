@@ -1,0 +1,32 @@
+//! Micro-benchmark for the Galloping intersection used by MPGP (§3.2)
+//! against the linear merge, on unbalanced sorted sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distger_graph::intersect::{galloping_intersect_count, merge_intersect_count};
+use std::hint::black_box;
+
+fn bench_intersect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorted_set_intersection");
+    group.sample_size(40);
+    for &(small, large) in &[(16usize, 4_096usize), (64, 65_536), (256, 65_536)] {
+        let a: Vec<u32> = (0..small as u32)
+            .map(|i| i * (large as u32 / small as u32))
+            .collect();
+        let b: Vec<u32> = (0..large as u32).collect();
+        let id = format!("{small}x{large}");
+        group.bench_with_input(
+            BenchmarkId::new("galloping", &id),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| black_box(galloping_intersect_count(a, b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("merge", &id),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| black_box(merge_intersect_count(a, b))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersect);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Micro-benchmark for §3.1: InCoM's O(1) incremental measurement vs the
+//! HuGE-D full-path recomputation, per accepted node, at several walk lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distger_walks::info::{FullPathInfo, IncrementalInfo};
+use std::hint::black_box;
+
+fn bench_info(c: &mut Criterion) {
+    let mut group = c.benchmark_group("info_measurement_per_walk");
+    group.sample_size(30);
+    for &len in &[20usize, 80, 320] {
+        // A synthetic walk cycling over 16 nodes.
+        let walk: Vec<u32> = (0..len as u32).map(|i| i % 16).collect();
+
+        group.bench_with_input(BenchmarkId::new("full_path", len), &walk, |b, walk| {
+            b.iter(|| {
+                let mut info = FullPathInfo::default();
+                for &v in walk {
+                    black_box(info.accept(v));
+                }
+                black_box(info.r_squared())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", len), &walk, |b, walk| {
+            b.iter(|| {
+                let mut info = IncrementalInfo::default();
+                let mut counts = std::collections::HashMap::new();
+                for &v in walk {
+                    let prev = counts.get(&v).copied().unwrap_or(0);
+                    black_box(info.accept(prev));
+                    *counts.entry(v).or_insert(0u64) += 1;
+                }
+                black_box(info.r_squared())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_info);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Table 5(a) at micro scale: partitioning time of the streaming
+//! partitioners (LDG, FENNEL, MPGP, parallel MPGP) and the workload-balancing
+//! scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distger_bench::{bench_dataset, BenchScale};
+use distger_graph::generate::PaperDataset;
+use distger_partition::{
+    balanced::workload_balanced_partition,
+    fennel::{fennel_partition, FennelConfig},
+    ldg::ldg_default,
+    mpgp_partition, parallel_mpgp_partition, MpgpConfig,
+};
+use std::hint::black_box;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let graph = bench_dataset(PaperDataset::Youtube, BenchScale::Smoke, 5);
+    let machines = 4;
+    let mut group = c.benchmark_group("partitioners_youtube_standin");
+    group.sample_size(10);
+    group.bench_function("workload_balanced", |b| {
+        b.iter(|| black_box(workload_balanced_partition(&graph, machines)))
+    });
+    group.bench_function("ldg", |b| {
+        b.iter(|| black_box(ldg_default(&graph, machines, 1)))
+    });
+    group.bench_function("fennel", |b| {
+        b.iter(|| {
+            black_box(fennel_partition(
+                &graph,
+                machines,
+                FennelConfig::default(),
+                1,
+            ))
+        })
+    });
+    group.bench_function("mpgp", |b| {
+        b.iter(|| black_box(mpgp_partition(&graph, machines, MpgpConfig::default())))
+    });
+    group.bench_function("mpgp_parallel", |b| {
+        b.iter(|| {
+            black_box(parallel_mpgp_partition(
+                &graph,
+                machines,
+                4,
+                MpgpConfig::parallel_default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

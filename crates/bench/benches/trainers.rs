@@ -1,0 +1,43 @@
+//! Figure 10(b) at micro scale: training throughput of SGNS/Hogwild,
+//! Pword2vec and DSGL on the same corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distger_bench::{bench_dataset, BenchScale};
+use distger_embed::{train_distributed, TrainerConfig, TrainerKind};
+use distger_graph::generate::PaperDataset;
+use distger_partition::{mpgp_partition, MpgpConfig};
+use distger_walks::{run_distributed_walks, WalkEngineConfig};
+use std::hint::black_box;
+
+fn bench_trainers(c: &mut Criterion) {
+    let graph = bench_dataset(PaperDataset::Flickr, BenchScale::Smoke, 7);
+    let partitioning = mpgp_partition(&graph, 4, MpgpConfig::default());
+    let walks = run_distributed_walks(&graph, &partitioning, &WalkEngineConfig::distger());
+
+    let mut group = c.benchmark_group("trainers_flickr_standin_corpus");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("sgns_hogwild", TrainerKind::Hogwild),
+        ("pword2vec", TrainerKind::Pword2vec),
+        ("dsgl_mw2", TrainerKind::Dsgl { multi_windows: 2 }),
+        ("dsgl_mw4", TrainerKind::Dsgl { multi_windows: 4 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = TrainerConfig {
+                    dim: 32,
+                    epochs: 1,
+                    kind,
+                    sync_rounds_per_epoch: 1,
+                    threads: 2,
+                    ..TrainerConfig::default()
+                };
+                black_box(train_distributed(&walks.corpus, 4, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trainers);
+criterion_main!(benches);

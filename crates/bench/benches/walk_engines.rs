@@ -1,0 +1,49 @@
+//! Figure 10(a) at micro scale: random-walk time of the routine KnightKing
+//! configuration, the HuGE-D full-path baseline, and DistGER's InCoM engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distger_bench::{bench_dataset, BenchScale};
+use distger_graph::generate::PaperDataset;
+use distger_partition::{balanced::workload_balanced_partition, mpgp_partition, MpgpConfig};
+use distger_walks::{run_distributed_walks, WalkEngineConfig, WalkModel};
+use std::hint::black_box;
+
+fn bench_walks(c: &mut Criterion) {
+    let graph = bench_dataset(PaperDataset::Flickr, BenchScale::Smoke, 3);
+    let balanced = workload_balanced_partition(&graph, 4);
+    let mpgp = mpgp_partition(&graph, 4, MpgpConfig::default());
+
+    let mut group = c.benchmark_group("walk_engines_flickr_standin");
+    group.sample_size(10);
+    group.bench_function("knightking_routine", |b| {
+        b.iter(|| {
+            black_box(run_distributed_walks(
+                &graph,
+                &balanced,
+                &WalkEngineConfig::knightking_routine(WalkModel::Huge),
+            ))
+        })
+    });
+    group.bench_function("huge_d_full_path", |b| {
+        b.iter(|| {
+            black_box(run_distributed_walks(
+                &graph,
+                &balanced,
+                &WalkEngineConfig::huge_d(),
+            ))
+        })
+    });
+    group.bench_function("distger_incom", |b| {
+        b.iter(|| {
+            black_box(run_distributed_walks(
+                &graph,
+                &mpgp,
+                &WalkEngineConfig::distger(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Benchmark-scale dataset stand-ins.
+//!
+//! The paper's real graphs (Table 2) are replaced by synthetic stand-ins with
+//! the same relative shape (see `distger-graph::generate::PaperDataset`).
+//! The harness runs them at a configurable scale so that a full `repro -- all`
+//! pass finishes in minutes on a laptop while relative trends survive.
+
+use distger_graph::generate::PaperDataset;
+use distger_graph::{planted_partition, CsrGraph, LabeledGraph};
+
+/// How large the harness workloads are.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BenchScale {
+    /// Tiny graphs for CI smoke runs (seconds).
+    Smoke,
+    /// The default: every experiment finishes in at most a few minutes.
+    Default,
+}
+
+impl BenchScale {
+    /// Multiplier applied to the stand-in node counts.
+    pub fn factor(self) -> f64 {
+        match self {
+            BenchScale::Smoke => 0.05,
+            BenchScale::Default => 0.25,
+        }
+    }
+}
+
+/// Generates the stand-in for one of the paper's datasets at the given scale.
+pub fn bench_dataset(dataset: PaperDataset, scale: BenchScale, seed: u64) -> CsrGraph {
+    dataset.generate(scale.factor(), seed)
+}
+
+/// Labelled graphs standing in for Flickr / YouTube in the classification
+/// experiments (Figure 9): planted communities with a multi-label fraction.
+pub fn labelled_dataset(name: &str, scale: BenchScale, seed: u64) -> LabeledGraph {
+    let (n, communities, p_in) = match name {
+        "FL" => (800, 16, 0.10),
+        _ => (1_200, 12, 0.06),
+    };
+    let n = ((n as f64) * (scale.factor() / 0.25)).round().max(60.0) as usize;
+    planted_partition(n, communities.min(n / 5), p_in, 0.003, 0.3, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_generate_at_both_scales() {
+        for scale in [BenchScale::Smoke, BenchScale::Default] {
+            let g = bench_dataset(PaperDataset::Flickr, scale, 1);
+            assert!(g.num_nodes() > 10);
+            let l = labelled_dataset("FL", scale, 1);
+            assert_eq!(l.labels.len(), l.graph.num_nodes());
+        }
+    }
+}

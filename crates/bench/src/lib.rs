@@ -1,0 +1,9 @@
+//! Shared infrastructure for the experiment harness and the Criterion
+//! micro-benchmarks: dataset stand-ins at benchmark scale, table formatting,
+//! and JSON result export.
+
+pub mod datasets;
+pub mod report;
+
+pub use datasets::{bench_dataset, labelled_dataset, BenchScale};
+pub use report::{Report, Row};

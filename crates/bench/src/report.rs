@@ -1,0 +1,144 @@
+//! Minimal table/JSON reporting for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// One labelled row of numeric cells.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Row label (e.g. a dataset or system name).
+    pub label: String,
+    /// Cell values in column order.
+    pub values: Vec<f64>,
+}
+
+/// A named table with column headers, printable as text and exportable as
+/// JSON for EXPERIMENTS.md.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment identifier (e.g. "figure5").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers (not counting the row label).
+    pub columns: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        self.rows.push(Row {
+            label: label.into(),
+            values,
+        });
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let label_width = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8);
+        let _ = write!(out, "{:<width$}", "", width = label_width + 2);
+        for c in &self.columns {
+            let _ = write!(out, "{c:>16}");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "{:<width$}", row.label, width = label_width + 2);
+            for v in &row.values {
+                if v.abs() >= 1000.0 || (*v != 0.0 && v.abs() < 0.01) {
+                    let _ = write!(out, "{v:>16.3e}");
+                } else {
+                    let _ = write!(out, "{v:>16.3}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders the report as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = write!(out, "| |");
+        for c in &self.columns {
+            let _ = write!(out, " {c} |");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.columns {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "| {} |", row.label);
+            for v in &row.values {
+                let _ = write!(out, " {v:.3} |");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Serializes the report to a JSON value.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "id": self.id,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows.iter().map(|r| serde_json::json!({
+                "label": r.label,
+                "values": r.values,
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("t1", "sample", &["a", "b"]);
+        r.push("x", vec![1.0, 2.0]);
+        r.push("longer-label", vec![3.5, 4_000.0]);
+        r
+    }
+
+    #[test]
+    fn text_render_contains_all_cells() {
+        let text = sample().to_text();
+        assert!(text.contains("t1"));
+        assert!(text.contains("longer-label"));
+        assert!(text.contains("1.000"));
+        assert!(text.contains("4.000e3"));
+    }
+
+    #[test]
+    fn markdown_and_json_render() {
+        let r = sample();
+        let md = r.to_markdown();
+        assert!(md.contains("| x | 1.000 | 2.000 |"));
+        let json = r.to_json();
+        assert_eq!(json["rows"].as_array().unwrap().len(), 2);
+        assert_eq!(json["columns"][1], "b");
+    }
+}

@@ -1,0 +1,247 @@
+//! Bulk Synchronous Parallel execution over simulated machines.
+//!
+//! KnightKing (§2.2) coordinates walkers with the BSP model [56]: in every
+//! superstep each machine processes the messages addressed to it and emits
+//! messages for the next superstep; machines synchronize at the superstep
+//! boundary. [`run_bsp`] reproduces this scheme with one OS thread per
+//! machine per superstep and accounts every cross-machine message through
+//! [`CommStats`].
+
+use crate::comm::{CommStats, MessageSize};
+use crate::MachineId;
+
+/// Per-machine outgoing message buffer handed to the step function.
+pub struct Outbox<M> {
+    owner: MachineId,
+    queues: Vec<Vec<M>>,
+    stats: CommStats,
+}
+
+impl<M: MessageSize> Outbox<M> {
+    fn new(owner: MachineId, num_machines: usize) -> Self {
+        Self {
+            owner,
+            queues: (0..num_machines).map(|_| Vec::new()).collect(),
+            stats: CommStats::new(),
+        }
+    }
+
+    /// Queues `msg` for delivery to machine `to` at the next superstep.
+    /// Messages to the owner machine itself are delivered but not counted as
+    /// cross-machine traffic.
+    pub fn send(&mut self, to: MachineId, msg: M) {
+        if to != self.owner {
+            self.stats.record_message(msg.size_bytes());
+        } else {
+            self.stats.record_local_step();
+        }
+        self.queues[to].push(msg);
+    }
+
+    /// Records a unit of work that completed without any message (e.g. a walk
+    /// step whose destination stayed on this machine).
+    pub fn record_local_step(&mut self) {
+        self.stats.record_local_step();
+    }
+
+    /// The machine that owns this outbox.
+    pub fn owner(&self) -> MachineId {
+        self.owner
+    }
+}
+
+/// Messages delivered to one machine at the start of a superstep.
+pub struct Mailbox<M> {
+    /// The messages, in arbitrary order.
+    pub messages: Vec<M>,
+}
+
+/// Result of a BSP run.
+#[derive(Debug)]
+pub struct BspOutcome<S> {
+    /// Final per-machine states, indexed by machine id.
+    pub states: Vec<S>,
+    /// Aggregated communication statistics over all machines and supersteps.
+    pub comm: CommStats,
+    /// Number of supersteps executed.
+    pub supersteps: u64,
+}
+
+/// Runs BSP supersteps until no machine has pending messages.
+///
+/// * `states` — one mutable state per machine (e.g. its graph partition plus
+///   local walker bookkeeping).
+/// * `initial` — initial messages per machine (superstep 0 input).
+/// * `step` — called once per machine per superstep as
+///   `step(machine, &mut state, mailbox, &mut outbox)`; it may emit messages
+///   to any machine through the outbox.
+///
+/// Machines run concurrently on scoped threads within a superstep; the
+/// superstep boundary is the natural barrier (thread join).
+///
+/// # Panics
+/// Panics if `states.len() != initial.len()`, if there are zero machines, or
+/// if the run exceeds `max_supersteps` (a runaway-loop guard).
+pub fn run_bsp<S, M, F>(
+    states: Vec<S>,
+    initial: Vec<Vec<M>>,
+    max_supersteps: u64,
+    step: F,
+) -> BspOutcome<S>
+where
+    S: Send,
+    M: MessageSize + Send,
+    F: Fn(MachineId, &mut S, Mailbox<M>, &mut Outbox<M>) + Sync,
+{
+    let num_machines = states.len();
+    assert!(num_machines > 0, "need at least one machine");
+    assert_eq!(states.len(), initial.len(), "one inbox per machine");
+
+    let mut states = states;
+    let mut inboxes: Vec<Vec<M>> = initial;
+    let mut comm = CommStats::new();
+    let mut supersteps: u64 = 0;
+
+    while inboxes.iter().any(|q| !q.is_empty()) {
+        assert!(
+            supersteps < max_supersteps,
+            "BSP exceeded {max_supersteps} supersteps — runaway walk?"
+        );
+        supersteps += 1;
+
+        let current: Vec<Vec<M>> = std::mem::replace(
+            &mut inboxes,
+            (0..num_machines).map(|_| Vec::new()).collect(),
+        );
+
+        // Run every machine on its own scoped thread for this superstep.
+        let step_ref = &step;
+        let results: Vec<(MachineId, Outbox<M>)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = states
+                .iter_mut()
+                .zip(current)
+                .enumerate()
+                .map(|(machine, (state, msgs))| {
+                    scope.spawn(move |_| {
+                        let mut outbox = Outbox::new(machine, num_machines);
+                        step_ref(machine, state, Mailbox { messages: msgs }, &mut outbox);
+                        (machine, outbox)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("BSP worker thread panicked");
+
+        for (_, outbox) in results {
+            comm.merge(&outbox.stats);
+            for (to, msgs) in outbox.queues.into_iter().enumerate() {
+                inboxes[to].extend(msgs);
+            }
+        }
+    }
+
+    comm.supersteps = supersteps;
+    BspOutcome {
+        states,
+        comm,
+        supersteps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A token that hops `remaining` more times round-robin across machines.
+    struct Token {
+        remaining: u32,
+    }
+
+    impl MessageSize for Token {
+        fn size_bytes(&self) -> usize {
+            16
+        }
+    }
+
+    #[test]
+    fn token_ring_counts_messages() {
+        let machines = 4;
+        let states: Vec<u64> = vec![0; machines]; // counts tokens seen
+        let initial: Vec<Vec<Token>> = (0..machines)
+            .map(|m| {
+                if m == 0 {
+                    vec![Token { remaining: 7 }]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let outcome = run_bsp(states, initial, 1000, |machine, state, mailbox, outbox| {
+            for token in mailbox.messages {
+                *state += 1;
+                if token.remaining > 0 {
+                    let next = (machine + 1) % machines;
+                    outbox.send(
+                        next,
+                        Token {
+                            remaining: token.remaining - 1,
+                        },
+                    );
+                }
+            }
+        });
+        // The token visits 8 machines in total (initial + 7 hops).
+        assert_eq!(outcome.states.iter().sum::<u64>(), 8);
+        assert_eq!(outcome.comm.messages, 7);
+        assert_eq!(outcome.comm.bytes, 7 * 16);
+        assert_eq!(outcome.supersteps, 8);
+    }
+
+    #[test]
+    fn self_messages_are_local() {
+        let states = vec![0u64, 0u64];
+        let initial = vec![vec![Token { remaining: 3 }], vec![]];
+        let outcome = run_bsp(states, initial, 100, |machine, state, mailbox, outbox| {
+            for token in mailbox.messages {
+                *state += 1;
+                if token.remaining > 0 {
+                    // Always send to self: no cross-machine traffic.
+                    outbox.send(
+                        machine,
+                        Token {
+                            remaining: token.remaining - 1,
+                        },
+                    );
+                }
+            }
+        });
+        assert_eq!(outcome.comm.messages, 0);
+        assert_eq!(outcome.comm.local_steps, 3);
+        assert_eq!(outcome.states[0], 4);
+    }
+
+    #[test]
+    fn empty_initial_messages_finish_immediately() {
+        let outcome = run_bsp(
+            vec![(), ()],
+            vec![Vec::<Token>::new(), Vec::new()],
+            10,
+            |_, _, _, _| {},
+        );
+        assert_eq!(outcome.supersteps, 0);
+        assert_eq!(outcome.comm.messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "supersteps")]
+    fn runaway_loop_is_capped() {
+        let states = vec![(), ()];
+        let initial = vec![vec![Token { remaining: 1 }], vec![]];
+        run_bsp(states, initial, 5, |machine, _, mailbox, outbox| {
+            for _ in mailbox.messages {
+                outbox.send(1 - machine, Token { remaining: 1 });
+            }
+        });
+    }
+}

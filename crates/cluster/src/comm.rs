@@ -1,0 +1,174 @@
+//! Cross-machine communication accounting.
+//!
+//! The paper's complexity analyses (§2.2, §2.3, §3.1) are phrased in terms of
+//! the number of cross-machine messages `N`, their sizes `M(·)`, and the
+//! network bandwidth `B`; the experiments report message counts directly
+//! (Figure 10(c)) and communication-bound running times. [`CommStats`]
+//! captures exactly these quantities, and [`NetworkModel`] converts them into
+//! modelled communication time `N·M/B + N·latency`.
+
+use serde::{Deserialize, Serialize};
+
+/// Types that know their own serialized size on the wire.
+///
+/// Message sizes follow the paper's accounting (§3.1, Example 1): an 8-byte
+/// slot per scalar field, so a node2vec walker message is 32 B, a HuGE-D
+/// message `24 + 8·L` B and an InCoM message 80 B.
+pub trait MessageSize {
+    /// Size of this message in bytes when sent across machines.
+    fn size_bytes(&self) -> usize;
+}
+
+/// Aggregated communication statistics for one run (or one machine).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Number of cross-machine messages.
+    pub messages: u64,
+    /// Total bytes carried by cross-machine messages.
+    pub bytes: u64,
+    /// Walker (or work-item) steps that stayed on the local machine.
+    pub local_steps: u64,
+    /// Walker steps that had to hop to a different machine.
+    pub remote_steps: u64,
+    /// Number of BSP supersteps executed.
+    pub supersteps: u64,
+}
+
+impl CommStats {
+    /// An empty statistics record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a cross-machine message of `bytes` bytes.
+    pub fn record_message(&mut self, bytes: usize) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        self.remote_steps += 1;
+    }
+
+    /// Records a step that stayed local.
+    pub fn record_local_step(&mut self) {
+        self.local_steps += 1;
+    }
+
+    /// Merges another record into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.local_steps += other.local_steps;
+        self.remote_steps += other.remote_steps;
+        self.supersteps = self.supersteps.max(other.supersteps);
+    }
+
+    /// Total steps, local and remote.
+    pub fn total_steps(&self) -> u64 {
+        self.local_steps + self.remote_steps
+    }
+
+    /// Fraction of steps that stayed on the local machine (1.0 when no step
+    /// was taken).
+    pub fn locality(&self) -> f64 {
+        let total = self.total_steps();
+        if total == 0 {
+            1.0
+        } else {
+            self.local_steps as f64 / total as f64
+        }
+    }
+
+    /// Average message size in bytes (0 when no message was sent).
+    pub fn avg_message_bytes(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.messages as f64
+        }
+    }
+}
+
+/// Analytic interconnect model: `time = bytes / bandwidth + messages · latency`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Usable bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Per-message latency in seconds.
+    pub latency_sec: f64,
+}
+
+impl NetworkModel {
+    /// Creates a model from raw bandwidth (bytes/s) and latency (s).
+    pub fn new(bandwidth_bytes_per_sec: f64, latency_sec: f64) -> Self {
+        assert!(bandwidth_bytes_per_sec > 0.0);
+        assert!(latency_sec >= 0.0);
+        Self {
+            bandwidth_bytes_per_sec,
+            latency_sec,
+        }
+    }
+
+    /// The paper's testbed: 100 Gbps ≈ 12.5 GB/s, a few microseconds latency.
+    pub fn paper_testbed() -> Self {
+        Self::new(12.5e9, 5e-6)
+    }
+
+    /// Modelled time to deliver the traffic described by `stats`.
+    pub fn comm_time_secs(&self, stats: &CommStats) -> f64 {
+        stats.bytes as f64 / self.bandwidth_bytes_per_sec + stats.messages as f64 * self.latency_sec
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = CommStats::new();
+        a.record_message(80);
+        a.record_message(80);
+        a.record_local_step();
+        let mut b = CommStats::new();
+        b.record_message(32);
+        b.record_local_step();
+        b.record_local_step();
+        a.merge(&b);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.bytes, 192);
+        assert_eq!(a.local_steps, 3);
+        assert_eq!(a.remote_steps, 3);
+        assert_eq!(a.total_steps(), 6);
+        assert!((a.locality() - 0.5).abs() < 1e-12);
+        assert!((a.avg_message_bytes() - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_edge_cases() {
+        let s = CommStats::new();
+        assert_eq!(s.locality(), 1.0);
+        assert_eq!(s.avg_message_bytes(), 0.0);
+    }
+
+    #[test]
+    fn network_model_time() {
+        let m = NetworkModel::new(1e6, 1e-3);
+        let mut s = CommStats::new();
+        s.record_message(500_000); // 0.5 s transfer + 1 ms latency
+        let t = m.comm_time_secs(&s);
+        assert!((t - 0.501).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_testbed_is_fast() {
+        let m = NetworkModel::paper_testbed();
+        let mut s = CommStats::new();
+        s.record_message(1_000_000);
+        assert!(m.comm_time_secs(&s) < 1e-3);
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulated distributed runtime for the DistGER reproduction.
+//!
+//! The paper evaluates on a physical 8-machine cluster connected by a
+//! 100 Gbps network. This crate replaces that hardware with an in-process
+//! simulation that preserves every quantity the paper's analysis depends on:
+//!
+//! * a fixed set of logical **machines**, each owning the nodes assigned to it
+//!   by a `distger-partition` [`Partitioning`](distger_partition::Partitioning);
+//! * **Bulk Synchronous Parallel** supersteps ([`bsp`]) in which machines do
+//!   local work concurrently (real OS threads) and exchange messages at the
+//!   superstep boundary, exactly like KnightKing's walker engine (§2.2);
+//! * per-machine **communication accounting** ([`comm`]): every cross-machine
+//!   message is counted with an explicit byte size, and an analytic
+//!   [`NetworkModel`] converts the traffic into modelled communication time;
+//! * **memory accounting** ([`memory`]) for the Table 3 / Table 8 footprints;
+//! * wall-clock **phase timing** ([`timer`]).
+
+pub mod bsp;
+pub mod comm;
+pub mod config;
+pub mod memory;
+pub mod timer;
+
+pub use bsp::{run_bsp, BspOutcome, Mailbox, Outbox};
+pub use comm::{CommStats, MessageSize, NetworkModel};
+pub use config::ClusterConfig;
+pub use memory::MemoryEstimate;
+pub use timer::{PhaseTimes, Stopwatch};
+
+/// Identifier of a simulated machine (re-exported from `distger-partition` so
+/// downstream crates see a single definition).
+pub use distger_partition::MachineId;

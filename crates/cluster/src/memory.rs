@@ -1,0 +1,84 @@
+//! Per-machine memory accounting for the Table 3 / Table 8 experiments.
+//!
+//! The paper reports the average per-machine memory footprint of the sampling
+//! and training phases. In this reproduction the corresponding data structures
+//! (graph partition, walker state, corpus shard, embedding matrices, buffers)
+//! register their sizes here so the harness can print the same rows.
+
+use serde::{Deserialize, Serialize};
+
+/// A named breakdown of estimated resident memory.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryEstimate {
+    components: Vec<(String, usize)>,
+}
+
+impl MemoryEstimate {
+    /// An empty estimate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named component of `bytes` bytes.
+    pub fn add(&mut self, name: impl Into<String>, bytes: usize) -> &mut Self {
+        self.components.push((name.into(), bytes));
+        self
+    }
+
+    /// Merges another estimate into this one, keeping its component names.
+    pub fn merge(&mut self, other: &MemoryEstimate) {
+        self.components.extend(other.components.iter().cloned());
+    }
+
+    /// Total bytes across all components.
+    pub fn total_bytes(&self) -> usize {
+        self.components.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Total in gigabytes (decimal GB, as the paper reports).
+    pub fn total_gb(&self) -> f64 {
+        self.total_bytes() as f64 / 1e9
+    }
+
+    /// Component view: `(name, bytes)` in insertion order.
+    pub fn components(&self) -> &[(String, usize)] {
+        &self.components
+    }
+}
+
+/// Size in bytes of a slice of `T` (contents only, not the header).
+pub fn slice_bytes<T>(slice: &[T]) -> usize {
+    std::mem::size_of_val(slice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let mut m = MemoryEstimate::new();
+        m.add("graph", 1_000).add("walkers", 500);
+        assert_eq!(m.total_bytes(), 1_500);
+        assert_eq!(m.components().len(), 2);
+        assert!((m.total_gb() - 1.5e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_combines_components() {
+        let mut a = MemoryEstimate::new();
+        a.add("x", 10);
+        let mut b = MemoryEstimate::new();
+        b.add("y", 20);
+        a.merge(&b);
+        assert_eq!(a.total_bytes(), 30);
+    }
+
+    #[test]
+    fn slice_bytes_counts_elements() {
+        let v = vec![0u32; 100];
+        assert_eq!(slice_bytes(&v), 400);
+        let w = vec![0.0f64; 8];
+        assert_eq!(slice_bytes(&w), 64);
+    }
+}

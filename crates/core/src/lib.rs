@@ -1,0 +1,25 @@
+//! End-to-end DistGER pipeline and comparison baselines.
+//!
+//! [`pipeline::run_pipeline`] chains the three components of Figure 1 —
+//! multi-proximity-aware streaming partitioning (MPGP), the
+//! information-centric distributed walk engine (InCoM sampler), and the
+//! distributed Skip-Gram learner (DSGL) — over the simulated cluster, and
+//! reports per-phase times, communication statistics and memory footprints.
+//!
+//! [`baselines`] provides the comparison systems used throughout §6:
+//! a KnightKing-style routine-walk configuration, the HuGE-D full-path
+//! baseline, a PyTorch-BigGraph-like edge-partitioned trainer with a
+//! parameter server, and a DistDGL-like sampling-dominated GNN trainer.
+//! The latter two are intentionally simplified stand-ins (see DESIGN.md's
+//! substitution table) that preserve the performance traits the paper's
+//! analysis attributes to those systems.
+//!
+//! [`system`] wraps all five systems behind one interface for the experiment
+//! harness.
+
+pub mod baselines;
+pub mod pipeline;
+pub mod system;
+
+pub use pipeline::{run_pipeline, DistGerConfig, PartitionerChoice, PipelineResult};
+pub use system::{run_system, RunScale, SystemKind, SystemRun};

@@ -1,0 +1,347 @@
+//! The end-to-end DistGER pipeline: partition → sample → learn.
+
+use distger_cluster::{ClusterConfig, CommStats, MemoryEstimate, PhaseTimes, Stopwatch};
+use distger_embed::{train_distributed, Embeddings, TrainStats, TrainerConfig, TrainerKind};
+use distger_graph::CsrGraph;
+use distger_partition::{
+    balanced::workload_balanced_partition,
+    fennel::{fennel_partition, FennelConfig},
+    hash::hash_partition,
+    ldg::ldg_default,
+    mpgp_partition, parallel_mpgp_partition, MpgpConfig, Partitioning,
+};
+use distger_walks::{run_distributed_walks, WalkEngineConfig, WalkModel};
+
+/// Which partitioner feeds the walk engine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PartitionerChoice {
+    /// The paper's sequential MPGP (§3.2).
+    Mpgp(MpgpConfig),
+    /// Parallel MPGP with the given number of stream segments.
+    MpgpParallel {
+        /// Number of independent stream segments.
+        segments: usize,
+        /// MPGP configuration shared by all segments.
+        config: MpgpConfig,
+    },
+    /// KnightKing's workload-balancing partition (§2.2).
+    WorkloadBalanced,
+    /// Modulo hashing (quality floor).
+    Hash,
+    /// Linear Deterministic Greedy (streaming baseline).
+    Ldg,
+    /// FENNEL (streaming baseline).
+    Fennel,
+}
+
+impl PartitionerChoice {
+    /// Display name used by the experiment harness.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionerChoice::Mpgp(_) => "MPGP",
+            PartitionerChoice::MpgpParallel { .. } => "MPGP-P",
+            PartitionerChoice::WorkloadBalanced => "Workload-balancing",
+            PartitionerChoice::Hash => "Hash",
+            PartitionerChoice::Ldg => "LDG",
+            PartitionerChoice::Fennel => "FENNEL",
+        }
+    }
+
+    /// Runs the chosen partitioner.
+    pub fn partition(&self, graph: &CsrGraph, num_machines: usize, seed: u64) -> Partitioning {
+        match *self {
+            PartitionerChoice::Mpgp(config) => {
+                mpgp_partition(graph, num_machines, MpgpConfig { seed, ..config })
+            }
+            PartitionerChoice::MpgpParallel { segments, config } => parallel_mpgp_partition(
+                graph,
+                num_machines,
+                segments,
+                MpgpConfig { seed, ..config },
+            ),
+            PartitionerChoice::WorkloadBalanced => workload_balanced_partition(graph, num_machines),
+            PartitionerChoice::Hash => hash_partition(graph, num_machines),
+            PartitionerChoice::Ldg => ldg_default(graph, num_machines, seed),
+            PartitionerChoice::Fennel => {
+                fennel_partition(graph, num_machines, FennelConfig::default(), seed)
+            }
+        }
+    }
+}
+
+/// Full configuration of an end-to-end run.
+#[derive(Clone, Copy, Debug)]
+pub struct DistGerConfig {
+    /// Simulated cluster description.
+    pub cluster: ClusterConfig,
+    /// Partitioner choice.
+    pub partitioner: PartitionerChoice,
+    /// Random-walk engine configuration (the sampler).
+    pub walks: WalkEngineConfig,
+    /// Skip-Gram training configuration (the learner).
+    pub training: TrainerConfig,
+    /// Seed shared by partitioning / sampling / training.
+    pub seed: u64,
+}
+
+impl DistGerConfig {
+    /// The full DistGER system: MPGP + InCoM + DSGL with hotness-block sync.
+    pub fn distger(num_machines: usize) -> Self {
+        Self {
+            cluster: ClusterConfig::new(num_machines),
+            partitioner: PartitionerChoice::Mpgp(MpgpConfig::default()),
+            walks: WalkEngineConfig::distger(),
+            training: TrainerConfig {
+                kind: TrainerKind::Dsgl { multi_windows: 2 },
+                ..TrainerConfig::default()
+            },
+            seed: 0,
+        }
+    }
+
+    /// KnightKing-style system: workload-balancing partition, routine walks
+    /// (`L = 80`, `r = 10`), Pword2vec training with full synchronization.
+    pub fn knightking(num_machines: usize) -> Self {
+        Self {
+            cluster: ClusterConfig::new(num_machines),
+            partitioner: PartitionerChoice::WorkloadBalanced,
+            walks: WalkEngineConfig::knightking_routine(WalkModel::Huge),
+            training: TrainerConfig {
+                kind: TrainerKind::Pword2vec,
+                sync: distger_embed::SyncStrategy::Full,
+                ..TrainerConfig::default()
+            },
+            seed: 0,
+        }
+    }
+
+    /// The HuGE-D baseline (§2.3): information-oriented walks with the
+    /// full-path mechanism on the KnightKing substrate.
+    pub fn huge_d(num_machines: usize) -> Self {
+        Self {
+            walks: WalkEngineConfig::huge_d(),
+            ..Self::knightking(num_machines)
+        }
+    }
+
+    /// Scales every knob down for unit tests and examples: small dimension,
+    /// few epochs, tight walk caps.
+    pub fn small(mut self) -> Self {
+        self.training.dim = 32;
+        self.training.window = 5;
+        self.training.epochs = 1;
+        self.training.sync_rounds_per_epoch = 2;
+        self.training.threads = 2;
+        self
+    }
+
+    /// Builder-style seed override applied to all stochastic phases.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.walks = self.walks.with_seed(seed);
+        self.training.seed = seed;
+        self
+    }
+
+    /// Builder-style walk-model override (the general API of §6.6).
+    pub fn with_walk_model(mut self, model: WalkModel) -> Self {
+        self.walks.model = model;
+        self
+    }
+}
+
+/// Everything measured during one end-to-end run.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// The learned node embeddings.
+    pub embeddings: Embeddings,
+    /// Wall-clock per-phase times plus modelled communication time.
+    pub times: PhaseTimes,
+    /// The partitioning that was used.
+    pub partitioning: Partitioning,
+    /// Fraction of edges kept local by the partitioning.
+    pub local_edge_fraction: f64,
+    /// Cross-machine traffic of the random-walk phase.
+    pub walk_comm: CommStats,
+    /// Number of walks per node actually executed.
+    pub walk_rounds: usize,
+    /// Average walk length of the sampled corpus.
+    pub avg_walk_length: f64,
+    /// Total corpus tokens fed to the learner.
+    pub corpus_tokens: usize,
+    /// Training statistics (including synchronization traffic).
+    pub train_stats: TrainStats,
+    /// Per-machine memory estimate of the sampling phase.
+    pub sampling_memory: MemoryEstimate,
+    /// Per-machine memory estimate of the training phase.
+    pub training_memory: MemoryEstimate,
+}
+
+impl PipelineResult {
+    /// End-to-end running time (partition + sampling + training), the
+    /// quantity plotted in Figure 5.
+    pub fn end_to_end_secs(&self) -> f64 {
+        self.times.end_to_end_secs()
+    }
+
+    /// Total cross-machine messages (walking + training synchronization).
+    pub fn total_messages(&self) -> u64 {
+        self.walk_comm.messages + self.train_stats.sync_comm.messages
+    }
+}
+
+/// Runs the full pipeline on `graph` under `config`.
+pub fn run_pipeline(graph: &CsrGraph, config: &DistGerConfig) -> PipelineResult {
+    let num_machines = config.cluster.num_machines;
+    let mut times = PhaseTimes::default();
+
+    // Phase 1: partitioning.
+    let mut watch = Stopwatch::start();
+    let partitioning = config
+        .partitioner
+        .partition(graph, num_machines, config.seed);
+    times.partition_secs = watch.lap();
+
+    // Phase 2: distributed information-centric random walks.
+    let walk_result = run_distributed_walks(graph, &partitioning, &config.walks);
+    times.sampling_secs = watch.lap();
+
+    // Phase 3: distributed Skip-Gram learning.
+    let (embeddings, train_stats) =
+        train_distributed(&walk_result.corpus, num_machines, &config.training);
+    times.training_secs = watch.lap();
+
+    // Modelled cross-machine communication time.
+    let mut total_comm = walk_result.comm.clone();
+    total_comm.merge(&train_stats.sync_comm);
+    times.modelled_comm_secs = config.cluster.network.comm_time_secs(&total_comm);
+
+    // Memory accounting (Tables 3 and 8).
+    let mut sampling_memory = MemoryEstimate::new();
+    sampling_memory
+        .add(
+            "graph partition",
+            graph.memory_bytes() / num_machines.max(1),
+        )
+        .add("walker state", walk_result.avg_machine_memory_bytes)
+        .add(
+            "corpus shard",
+            walk_result.corpus.memory_bytes() / num_machines.max(1),
+        );
+    let mut training_memory = MemoryEstimate::new();
+    training_memory
+        .add(
+            "model replica + buffers",
+            train_stats.avg_machine_memory_bytes,
+        )
+        .add(
+            "corpus shard",
+            walk_result.corpus.memory_bytes() / num_machines.max(1),
+        );
+
+    PipelineResult {
+        embeddings,
+        times,
+        local_edge_fraction: partitioning.local_edge_fraction(graph),
+        partitioning,
+        walk_comm: walk_result.comm.clone(),
+        walk_rounds: walk_result.rounds,
+        avg_walk_length: walk_result.avg_walk_length(),
+        corpus_tokens: walk_result.corpus.total_tokens(),
+        train_stats,
+        sampling_memory,
+        training_memory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distger_eval::{evaluate_link_prediction, split_edges};
+    use distger_graph::barabasi_albert;
+
+    #[test]
+    fn distger_pipeline_end_to_end() {
+        let g = barabasi_albert(400, 4, 3);
+        let config = DistGerConfig::distger(4).small().with_seed(1);
+        let result = run_pipeline(&g, &config);
+        assert_eq!(result.embeddings.num_nodes(), 400);
+        assert!(result.walk_rounds >= 2);
+        assert!(result.avg_walk_length > 5.0);
+        assert!(result.corpus_tokens > 400 * 5);
+        assert!(result.times.end_to_end_secs() > 0.0);
+        assert!(result.local_edge_fraction > 0.0);
+        assert!(result.sampling_memory.total_bytes() > 0);
+        assert!(result.training_memory.total_bytes() > 0);
+    }
+
+    #[test]
+    fn distger_beats_random_embeddings_on_link_prediction() {
+        // Community + power-law graph: degree skew plus the dense local
+        // neighbourhoods of the paper's social graphs — plain BA has no local
+        // structure to predict from.
+        let g = distger_graph::community_powerlaw(400, 8, 5, 0.1, 9);
+        let split = split_edges(&g, 0.5, 4);
+        let config = DistGerConfig::distger(2).small().with_seed(2);
+        let mut cfg = config;
+        cfg.training.epochs = 3;
+        let result = run_pipeline(&split.train_graph, &cfg);
+        let auc = evaluate_link_prediction(&result.embeddings, &split);
+        assert!(
+            auc > 0.75,
+            "DistGER embeddings should predict links well, got AUC {auc}"
+        );
+    }
+
+    #[test]
+    fn knightking_and_huge_d_configs_run() {
+        let g = barabasi_albert(200, 3, 5);
+        for mut config in [DistGerConfig::knightking(2), DistGerConfig::huge_d(2)] {
+            config = config.small().with_seed(3);
+            // keep routine walks short for test speed
+            if let distger_walks::LengthPolicy::Fixed(_) = config.walks.length {
+                config.walks.length = distger_walks::LengthPolicy::Fixed(20);
+                config.walks.walks_per_node = distger_walks::WalkCountPolicy::Fixed(2);
+            }
+            let result = run_pipeline(&g, &config);
+            assert_eq!(result.embeddings.num_nodes(), 200);
+            assert!(result.corpus_tokens > 0);
+        }
+    }
+
+    #[test]
+    fn general_api_runs_deepwalk_and_node2vec() {
+        let g = barabasi_albert(200, 3, 7);
+        for model in [WalkModel::DeepWalk, WalkModel::Node2Vec { p: 4.0, q: 1.0 }] {
+            let config = DistGerConfig::distger(2)
+                .small()
+                .with_seed(5)
+                .with_walk_model(model);
+            let result = run_pipeline(&g, &config);
+            assert!(
+                result.corpus_tokens > 0,
+                "{} produced no corpus",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn partitioner_choices_all_run() {
+        let g = barabasi_albert(150, 3, 11);
+        for choice in [
+            PartitionerChoice::Mpgp(MpgpConfig::default()),
+            PartitionerChoice::MpgpParallel {
+                segments: 2,
+                config: MpgpConfig::parallel_default(),
+            },
+            PartitionerChoice::WorkloadBalanced,
+            PartitionerChoice::Hash,
+            PartitionerChoice::Ldg,
+            PartitionerChoice::Fennel,
+        ] {
+            let p = choice.partition(&g, 3, 1);
+            assert_eq!(p.num_nodes(), 150, "{} incomplete", choice.name());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The final node embeddings `φ : V → R^d`.
+
+use distger_graph::NodeId;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Dense node embeddings indexed by original node id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Embeddings {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl Embeddings {
+    /// Creates embeddings from a row-major matrix indexed by node id.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dim`.
+    pub fn from_node_major(data: Vec<f32>, dim: usize) -> Self {
+        assert!(dim > 0);
+        assert_eq!(data.len() % dim, 0, "data must contain whole rows");
+        Self { dim, data }
+    }
+
+    /// Creates all-zero embeddings for `n` nodes.
+    pub fn zeros(n: usize, dim: usize) -> Self {
+        Self {
+            dim,
+            data: vec![0.0; n * dim],
+        }
+    }
+
+    /// Embedding dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of embedded nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// The embedding vector of `node`.
+    #[inline]
+    pub fn vector(&self, node: NodeId) -> &[f32] {
+        let i = node as usize * self.dim;
+        &self.data[i..i + self.dim]
+    }
+
+    /// Mutable access to the embedding vector of `node`.
+    #[inline]
+    pub fn vector_mut(&mut self, node: NodeId) -> &mut [f32] {
+        let i = node as usize * self.dim;
+        &mut self.data[i..i + self.dim]
+    }
+
+    /// Dot-product similarity `φ(u)·φ(v)` — the link-prediction score used in
+    /// §6.4.
+    pub fn dot(&self, u: NodeId, v: NodeId) -> f32 {
+        self.vector(u)
+            .iter()
+            .zip(self.vector(v))
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Cosine similarity between two node embeddings (0 when either is zero).
+    pub fn cosine(&self, u: NodeId, v: NodeId) -> f32 {
+        let nu: f32 = self.vector(u).iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nv: f32 = self.vector(v).iter().map(|x| x * x).sum::<f32>().sqrt();
+        if nu == 0.0 || nv == 0.0 {
+            0.0
+        } else {
+            self.dot(u, v) / (nu * nv)
+        }
+    }
+
+    /// Element-wise Hadamard product of two node embeddings, a standard edge
+    /// feature for link-prediction classifiers.
+    pub fn hadamard(&self, u: NodeId, v: NodeId) -> Vec<f32> {
+        self.vector(u)
+            .iter()
+            .zip(self.vector(v))
+            .map(|(a, b)| a * b)
+            .collect()
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Writes the embeddings in the word2vec text format
+    /// (`<n> <dim>` header, then `<node> <v_1> … <v_d>` per line).
+    pub fn save_text(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        writeln!(w, "{} {}", self.num_nodes(), self.dim)?;
+        for u in 0..self.num_nodes() {
+            write!(w, "{u}")?;
+            for x in self.vector(u as NodeId) {
+                write!(w, " {x}")?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// Reads embeddings written by [`Embeddings::save_text`].
+    pub fn load_text(path: impl AsRef<Path>) -> io::Result<Self> {
+        let reader = BufReader::new(std::fs::File::open(path)?);
+        let mut lines = reader.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty file"))??;
+        let mut parts = header.split_whitespace();
+        let n: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad header"))?;
+        let dim: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad header"))?;
+        let mut data = vec![0.0f32; n * dim];
+        for line in lines {
+            let line = line?;
+            let mut it = line.split_whitespace();
+            let node: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad row"))?;
+            for (i, tok) in it.enumerate() {
+                data[node * dim + i] = tok
+                    .parse()
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad value"))?;
+            }
+        }
+        Ok(Self { dim, data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Embeddings {
+        Embeddings::from_node_major(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], 2)
+    }
+
+    #[test]
+    fn accessors_and_similarities() {
+        let e = sample();
+        assert_eq!(e.num_nodes(), 3);
+        assert_eq!(e.dim(), 2);
+        assert_eq!(e.vector(1), &[0.0, 1.0]);
+        assert_eq!(e.dot(0, 1), 0.0);
+        assert_eq!(e.dot(0, 2), 1.0);
+        assert!((e.cosine(2, 2) - 1.0).abs() < 1e-6);
+        assert_eq!(e.hadamard(0, 2), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        let e = Embeddings::zeros(2, 4);
+        assert_eq!(e.cosine(0, 1), 0.0);
+    }
+
+    #[test]
+    fn vector_mut_updates() {
+        let mut e = Embeddings::zeros(2, 2);
+        e.vector_mut(1)[0] = 5.0;
+        assert_eq!(e.vector(1), &[5.0, 0.0]);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let e = sample();
+        let dir = std::env::temp_dir().join("distger_embed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("emb.txt");
+        e.save_text(&path).unwrap();
+        let loaded = Embeddings::load_text(&path).unwrap();
+        assert_eq!(e, loaded);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn from_node_major_validates_shape() {
+        Embeddings::from_node_major(vec![1.0, 2.0, 3.0], 2);
+    }
+}

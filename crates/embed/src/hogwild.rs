@@ -1,0 +1,191 @@
+//! Lock-free shared embedding matrices (Hogwild-style).
+//!
+//! The original word2vec parallelizes SGD with Hogwild [38]: threads update
+//! the shared parameter matrices without synchronization and tolerate the
+//! (rare, benign) races. All three trainers in this crate follow that model
+//! within a machine, so the matrices must be mutably aliasable across
+//! threads. [`HogwildMatrix`] wraps the storage in an `UnsafeCell` and exposes
+//! unsafe row accessors whose contract documents the Hogwild assumption.
+
+use std::cell::UnsafeCell;
+
+/// A dense `rows × dim` matrix of `f32` that permits unsynchronized
+/// concurrent access from multiple threads.
+///
+/// # Safety model
+/// Concurrent `row_mut` calls may race on the same row; per Hogwild the
+/// updates are small, sparse and idempotent-enough that the training still
+/// converges. Torn reads of individual `f32`s cannot cause undefined
+/// behaviour observable at the algorithm level (values are only ever used in
+/// arithmetic), but Rust still requires `unsafe` to express the aliasing —
+/// callers must not hold two mutable references to the same row on the same
+/// thread.
+pub struct HogwildMatrix {
+    data: UnsafeCell<Vec<f32>>,
+    rows: usize,
+    dim: usize,
+}
+
+// SAFETY: see the type-level documentation; races are accepted by design.
+unsafe impl Sync for HogwildMatrix {}
+
+impl HogwildMatrix {
+    /// Creates a zero-initialized matrix.
+    pub fn zeros(rows: usize, dim: usize) -> Self {
+        Self {
+            data: UnsafeCell::new(vec![0.0; rows * dim]),
+            rows,
+            dim,
+        }
+    }
+
+    /// Creates a matrix initialized uniformly in `[-0.5/dim, 0.5/dim)`, the
+    /// word2vec initialization for the input matrix.
+    pub fn random_init(rows: usize, dim: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let scale = 1.0 / dim as f32;
+        let data: Vec<f32> = (0..rows * dim)
+            .map(|_| ((next() >> 11) as f32 / (1u64 << 53) as f32 - 0.5) * scale)
+            .collect();
+        Self {
+            data: UnsafeCell::new(data),
+            rows,
+            dim,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Immutable view of a row.
+    ///
+    /// # Safety
+    /// The caller must accept that another thread may be concurrently writing
+    /// the same row (Hogwild); the returned slice must not outlive `self`.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        let base = (*self.data.get()).as_ptr();
+        std::slice::from_raw_parts(base.add(r * self.dim), self.dim)
+    }
+
+    /// Mutable view of a row.
+    ///
+    /// # Safety
+    /// Same contract as [`HogwildMatrix::row`]; additionally the caller must
+    /// not create two overlapping mutable row views on the same thread.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn row_mut(&self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        let base = (*self.data.get()).as_mut_ptr();
+        std::slice::from_raw_parts_mut(base.add(r * self.dim), self.dim)
+    }
+
+    /// Copies a row into `dst` (safe snapshot; may observe a torn update).
+    pub fn copy_row_into(&self, r: usize, dst: &mut [f32]) {
+        // SAFETY: read-only snapshot under the Hogwild contract.
+        let src = unsafe { self.row(r) };
+        dst.copy_from_slice(src);
+    }
+
+    /// Overwrites a row from `src`.
+    pub fn store_row(&self, r: usize, src: &[f32]) {
+        // SAFETY: single logical writer per row at write-back time (callers
+        // partition rows or accept Hogwild races).
+        let dst = unsafe { self.row_mut(r) };
+        dst.copy_from_slice(src);
+    }
+
+    /// Consumes the matrix and returns the underlying storage (row-major).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data.into_inner()
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.rows * self.dim * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_dimensions() {
+        let m = HogwildMatrix::zeros(4, 8);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.dim(), 8);
+        assert_eq!(m.memory_bytes(), 4 * 8 * 4);
+        let row = unsafe { m.row(2) };
+        assert!(row.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn random_init_is_bounded_and_seeded() {
+        let a = HogwildMatrix::random_init(10, 16, 7);
+        let b = HogwildMatrix::random_init(10, 16, 7);
+        let c = HogwildMatrix::random_init(10, 16, 8);
+        let bound = 0.5 / 16.0 + 1e-6;
+        for r in 0..10 {
+            let ra = unsafe { a.row(r) };
+            let rb = unsafe { b.row(r) };
+            let rc = unsafe { c.row(r) };
+            assert_eq!(ra, rb, "same seed must give the same init");
+            assert!(ra.iter().any(|&x| x != 0.0));
+            assert!(ra.iter().all(|&x| x.abs() <= bound));
+            assert_ne!(ra, rc, "different seeds should differ");
+        }
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let m = HogwildMatrix::zeros(3, 4);
+        m.store_row(1, &[1.0, 2.0, 3.0, 4.0]);
+        let mut buf = [0.0f32; 4];
+        m.copy_row_into(1, &mut buf);
+        assert_eq!(buf, [1.0, 2.0, 3.0, 4.0]);
+        let v = m.into_vec();
+        assert_eq!(&v[4..8], &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_crash() {
+        let m = HogwildMatrix::zeros(8, 16);
+        crossbeam::thread::scope(|s| {
+            for t in 0..4 {
+                let m = &m;
+                s.spawn(move |_| {
+                    for i in 0..1000 {
+                        let r = (t + i) % 8;
+                        let row = unsafe { m.row_mut(r) };
+                        for x in row.iter_mut() {
+                            *x += 1.0;
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // All entries must have been incremented a plausible number of times
+        // (exact counts are racy by design).
+        let v = m.into_vec();
+        assert!(v.iter().all(|&x| x > 0.0));
+    }
+}

@@ -1,0 +1,138 @@
+//! Negative sampling from the unigram^0.75 distribution.
+//!
+//! Skip-Gram with negative sampling draws `K` negative nodes per positive
+//! pair from `P_n(u) ∝ freq(u)^{0.75}` (§2.1, Eq. 2). The classic word2vec
+//! implementation materializes this distribution as a large lookup table,
+//! which is what the trainers here use; the table indexes *ranks* of the
+//! frequency-ordered vocabulary so that hot negatives touch hot cache lines.
+
+use crate::vocab::Vocab;
+use distger_walks::Corpus;
+
+/// Unigram^0.75 sampling table over vocabulary ranks.
+#[derive(Clone, Debug)]
+pub struct NegativeTable {
+    table: Vec<u32>,
+}
+
+impl NegativeTable {
+    /// Default table size (the original word2vec uses 10⁸; scaled down to the
+    /// corpus sizes of this reproduction).
+    pub const DEFAULT_SIZE: usize = 1 << 20;
+
+    /// Builds the table from a vocabulary with the default size.
+    pub fn from_vocab(vocab: &Vocab) -> Self {
+        Self::with_size(vocab, Self::DEFAULT_SIZE)
+    }
+
+    /// Builds the table from corpus frequencies.
+    pub fn from_corpus(corpus: &Corpus) -> Self {
+        Self::from_vocab(&Vocab::from_corpus(corpus))
+    }
+
+    /// Builds a table of `size` entries. Ranks with zero frequency are never
+    /// sampled. Falls back to uniform sampling over non-empty ranks when the
+    /// corpus is empty.
+    pub fn with_size(vocab: &Vocab, size: usize) -> Self {
+        assert!(size > 0);
+        let freqs = vocab.frequencies();
+        let power = 0.75f64;
+        let total: f64 = freqs.iter().map(|&f| (f as f64).powf(power)).sum();
+        let mut table = Vec::with_capacity(size);
+        if total <= 0.0 || freqs.is_empty() {
+            // Degenerate corpus: sample uniformly over all ranks (or rank 0).
+            let n = freqs.len().max(1) as u32;
+            for i in 0..size {
+                table.push((i as u64 * n as u64 / size as u64) as u32);
+            }
+            return Self { table };
+        }
+        let mut rank = 0usize;
+        let mut cumulative = (freqs[0] as f64).powf(power) / total;
+        for i in 0..size {
+            table.push(rank as u32);
+            let position = (i + 1) as f64 / size as f64;
+            while position > cumulative && rank + 1 < freqs.len() && freqs[rank + 1] > 0 {
+                rank += 1;
+                cumulative += (freqs[rank] as f64).powf(power) / total;
+            }
+        }
+        Self { table }
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty (never true for a successfully built table).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Samples a rank given a uniformly random `u64`.
+    #[inline]
+    pub fn sample(&self, random: u64) -> u32 {
+        self.table[(random % self.table.len() as u64) as usize]
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequent_ranks_are_sampled_more() {
+        // rank frequencies 100, 10, 1, 0
+        let vocab = Vocab::from_frequencies(&[1, 100, 10, 0]);
+        let table = NegativeTable::with_size(&vocab, 10_000);
+        let mut counts = [0usize; 4];
+        for i in 0..table.len() {
+            counts[table.table[i] as usize] += 1;
+        }
+        assert!(counts[0] > counts[1], "rank 0 (freq 100) most frequent");
+        assert!(counts[1] > counts[2], "rank 1 (freq 10) more than rank 2");
+        assert_eq!(counts[3], 0, "zero-frequency rank never sampled");
+    }
+
+    #[test]
+    fn sample_returns_valid_ranks() {
+        let vocab = Vocab::from_frequencies(&[5, 3, 2, 2, 1]);
+        let table = NegativeTable::with_size(&vocab, 1_000);
+        for r in 0..5_000u64 {
+            let rank = table.sample(r.wrapping_mul(0x9E3779B97F4A7C15));
+            assert!((rank as usize) < 5);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_falls_back_to_uniform() {
+        let vocab = Vocab::from_frequencies(&[0, 0, 0]);
+        let table = NegativeTable::with_size(&vocab, 300);
+        assert_eq!(table.len(), 300);
+        for i in 0..300u64 {
+            assert!(table.sample(i) < 3);
+        }
+    }
+
+    #[test]
+    fn power_smoothing_flattens_the_distribution() {
+        // With smoothing 0.75, the ratio of samples between freq 1000 and
+        // freq 1 should be far below 1000.
+        let vocab = Vocab::from_frequencies(&[1000, 1]);
+        let table = NegativeTable::with_size(&vocab, 100_000);
+        let hot = table.table.iter().filter(|&&r| r == 0).count() as f64;
+        let cold = table.table.iter().filter(|&&r| r == 1).count() as f64;
+        let ratio = hot / cold.max(1.0);
+        assert!(
+            ratio < 400.0,
+            "smoothed ratio {ratio} should be well below 1000"
+        );
+        assert!(ratio > 20.0);
+    }
+}

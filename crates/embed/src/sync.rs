@@ -1,0 +1,207 @@
+//! Cross-machine parameter synchronization (§4.2, Improvement-III).
+//!
+//! Each machine trains on its corpus shard against a private model replica
+//! and periodically synchronizes parameters with the other machines. Two
+//! strategies are modelled:
+//!
+//! * [`SyncStrategy::Full`] — every row of both matrices is averaged across
+//!   machines, costing `O(|V| · d · m)` traffic per synchronization;
+//! * [`SyncStrategy::HotnessBlock`] — the rank-ordered matrices are divided
+//!   into blocks of equal corpus frequency ("hotness blocks") and one row is
+//!   sampled per block, so hot nodes — which are updated most — are
+//!   synchronized most often, costing only `O(ocn_max · d · m)`.
+
+use crate::hogwild::HogwildMatrix;
+use crate::vocab::Vocab;
+use distger_cluster::CommStats;
+use distger_walks::rng::SplitMix64;
+
+/// Parameter synchronization strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncStrategy {
+    /// Average every row of both matrices across all machines.
+    Full,
+    /// Hotness-block sampling: one row per equal-frequency block.
+    HotnessBlock,
+}
+
+/// One machine's model replica (`φ_in`, `φ_out`).
+pub struct ModelReplica {
+    /// Input (context) matrix, rank-indexed.
+    pub phi_in: HogwildMatrix,
+    /// Output (target/negative) matrix, rank-indexed.
+    pub phi_out: HogwildMatrix,
+}
+
+impl ModelReplica {
+    /// Creates a replica with word2vec initialization; all machines use the
+    /// same seed so the replicas start identical.
+    pub fn new(rows: usize, dim: usize, seed: u64) -> Self {
+        Self {
+            phi_in: HogwildMatrix::random_init(rows, dim, seed),
+            phi_out: HogwildMatrix::zeros(rows, dim),
+        }
+    }
+
+    /// Memory footprint in bytes of both matrices.
+    pub fn memory_bytes(&self) -> usize {
+        self.phi_in.memory_bytes() + self.phi_out.memory_bytes()
+    }
+}
+
+/// Selects the ranks to synchronize under `strategy`.
+pub fn select_sync_ranks(strategy: SyncStrategy, vocab: &Vocab, rng: &mut SplitMix64) -> Vec<u32> {
+    match strategy {
+        SyncStrategy::Full => (0..vocab.len() as u32).collect(),
+        SyncStrategy::HotnessBlock => vocab
+            .hotness_blocks()
+            .into_iter()
+            .filter(|&(start, _)| vocab.freq_at(start) > 0)
+            .map(|(start, end)| start + (rng.next_bounded((end - start) as usize) as u32))
+            .collect(),
+    }
+}
+
+/// Averages the selected rows of both matrices across all replicas and writes
+/// the averaged values back to every replica. Records the induced traffic in
+/// `comm`: every synchronized row travels from each machine to the reducer and
+/// back, i.e. `2 · m` messages of `d · 4` bytes per matrix row.
+pub fn synchronize_replicas(replicas: &mut [ModelReplica], ranks: &[u32], comm: &mut CommStats) {
+    let m = replicas.len();
+    if m <= 1 || ranks.is_empty() {
+        return;
+    }
+    let dim = replicas[0].phi_in.dim();
+    let mut buf = vec![0.0f32; dim];
+    let mut avg = vec![0.0f32; dim];
+    for &rank in ranks {
+        for matrix_idx in 0..2 {
+            avg.iter_mut().for_each(|x| *x = 0.0);
+            for replica in replicas.iter() {
+                let matrix = if matrix_idx == 0 {
+                    &replica.phi_in
+                } else {
+                    &replica.phi_out
+                };
+                matrix.copy_row_into(rank as usize, &mut buf);
+                for (a, b) in avg.iter_mut().zip(&buf) {
+                    *a += b;
+                }
+            }
+            for a in avg.iter_mut() {
+                *a /= m as f32;
+            }
+            for replica in replicas.iter_mut() {
+                let matrix = if matrix_idx == 0 {
+                    &replica.phi_in
+                } else {
+                    &replica.phi_out
+                };
+                matrix.store_row(rank as usize, &avg);
+            }
+            // Traffic: each machine uploads and downloads the row once.
+            for _ in 0..(2 * m) {
+                comm.record_message(dim * std::mem::size_of::<f32>());
+            }
+        }
+    }
+}
+
+/// Averages `φ_in` across replicas into a single node-major matrix ordered by
+/// rank (the final model gather; not counted as synchronization traffic).
+pub fn gather_phi_in(replicas: &[ModelReplica]) -> Vec<f32> {
+    assert!(!replicas.is_empty());
+    let rows = replicas[0].phi_in.rows();
+    let dim = replicas[0].phi_in.dim();
+    let mut out = vec![0.0f32; rows * dim];
+    let mut buf = vec![0.0f32; dim];
+    for replica in replicas {
+        for r in 0..rows {
+            replica.phi_in.copy_row_into(r, &mut buf);
+            for (o, b) in out[r * dim..(r + 1) * dim].iter_mut().zip(&buf) {
+                *o += b;
+            }
+        }
+    }
+    let m = replicas.len() as f32;
+    for x in out.iter_mut() {
+        *x /= m;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocab {
+        Vocab::from_frequencies(&[9, 9, 5, 5, 5, 1, 0])
+    }
+
+    #[test]
+    fn full_sync_selects_every_rank() {
+        let v = vocab();
+        let mut rng = SplitMix64::new(1);
+        let ranks = select_sync_ranks(SyncStrategy::Full, &v, &mut rng);
+        assert_eq!(ranks.len(), 7);
+    }
+
+    #[test]
+    fn hotness_sync_selects_one_rank_per_nonzero_block() {
+        let v = vocab();
+        let mut rng = SplitMix64::new(1);
+        let ranks = select_sync_ranks(SyncStrategy::HotnessBlock, &v, &mut rng);
+        // Blocks: freq 9 (ranks 0-1), freq 5 (ranks 2-4), freq 1 (rank 5),
+        // freq 0 (rank 6, excluded) → 3 sampled ranks.
+        assert_eq!(ranks.len(), 3);
+        assert!(ranks[0] < 2);
+        assert!((2..5).contains(&ranks[1]));
+        assert_eq!(ranks[2], 5);
+    }
+
+    #[test]
+    fn synchronization_averages_rows_and_counts_traffic() {
+        let mut replicas = vec![ModelReplica::new(4, 2, 7), ModelReplica::new(4, 2, 7)];
+        replicas[0].phi_in.store_row(1, &[1.0, 3.0]);
+        replicas[1].phi_in.store_row(1, &[3.0, 5.0]);
+        let mut comm = CommStats::new();
+        synchronize_replicas(&mut replicas, &[1], &mut comm);
+        let mut buf = [0.0f32; 2];
+        replicas[0].phi_in.copy_row_into(1, &mut buf);
+        assert_eq!(buf, [2.0, 4.0]);
+        replicas[1].phi_in.copy_row_into(1, &mut buf);
+        assert_eq!(buf, [2.0, 4.0]);
+        // 1 rank × 2 matrices × 2 machines × 2 directions = 8 messages.
+        assert_eq!(comm.messages, 8);
+        assert_eq!(comm.bytes, 8 * 8);
+    }
+
+    #[test]
+    fn single_machine_sync_is_a_no_op() {
+        let mut replicas = vec![ModelReplica::new(3, 2, 1)];
+        let mut comm = CommStats::new();
+        synchronize_replicas(&mut replicas, &[0, 1, 2], &mut comm);
+        assert_eq!(comm.messages, 0);
+    }
+
+    #[test]
+    fn hotness_traffic_is_much_smaller_than_full() {
+        // 1000 nodes whose frequencies take only 10 distinct values.
+        let freqs: Vec<u64> = (0..1000u64).map(|i| 1 + (i % 10)).collect();
+        let v = Vocab::from_frequencies(&freqs);
+        let mut rng = SplitMix64::new(3);
+        let full = select_sync_ranks(SyncStrategy::Full, &v, &mut rng).len();
+        let hot = select_sync_ranks(SyncStrategy::HotnessBlock, &v, &mut rng).len();
+        assert_eq!(full, 1000);
+        assert_eq!(hot, 10);
+    }
+
+    #[test]
+    fn gather_averages_replicas() {
+        let replicas = vec![ModelReplica::new(2, 2, 1), ModelReplica::new(2, 2, 1)];
+        replicas[0].phi_in.store_row(0, &[2.0, 0.0]);
+        replicas[1].phi_in.store_row(0, &[4.0, 2.0]);
+        let gathered = gather_phi_in(&replicas);
+        assert_eq!(&gathered[0..2], &[3.0, 1.0]);
+    }
+}

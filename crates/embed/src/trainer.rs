@@ -1,0 +1,452 @@
+//! End-to-end distributed training orchestration.
+//!
+//! The corpus is split into per-machine shards (§4.2-III); every machine owns
+//! a full model replica, trains on its shard with the configured trainer kind
+//! and thread count, and periodically synchronizes parameters with the other
+//! machines (full or hotness-block). The machines of the simulated cluster
+//! run as real concurrent threads; the synchronization traffic is accounted
+//! through [`CommStats`].
+
+use crossbeam::thread as cb_thread;
+use distger_cluster::CommStats;
+use distger_walks::rng::SplitMix64;
+use distger_walks::Corpus;
+
+use crate::dsgl::train_walks_dsgl;
+use crate::embeddings::Embeddings;
+use crate::negative::NegativeTable;
+use crate::pword2vec::train_walks_pword2vec;
+use crate::sgns::{train_walks_hogwild, SigmoidTable, TrainContext};
+use crate::sync::{
+    gather_phi_in, select_sync_ranks, synchronize_replicas, ModelReplica, SyncStrategy,
+};
+use crate::vocab::Vocab;
+
+/// Which Skip-Gram trainer runs on each machine (Figure 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainerKind {
+    /// Plain SGNS / Hogwild: fresh negatives per (target, context) pair.
+    Hogwild,
+    /// Pword2vec: negatives shared across one window.
+    Pword2vec,
+    /// DSGL: local buffers + multi-window shared negatives (§4.2).
+    Dsgl {
+        /// Number of walks processed in lockstep per thread (≥ 1, paper
+        /// default 2).
+        multi_windows: usize,
+    },
+}
+
+impl TrainerKind {
+    /// Display name used by the experiment harness.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrainerKind::Hogwild => "SGNS",
+            TrainerKind::Pword2vec => "Pword2vec",
+            TrainerKind::Dsgl { .. } => "DSGL",
+        }
+    }
+}
+
+/// Training hyper-parameters (§6.1 defaults).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainerConfig {
+    /// Embedding dimension `d` (paper default 128).
+    pub dim: usize,
+    /// Sliding-window size `w` (paper default 10).
+    pub window: usize,
+    /// Negative samples per positive `K` (paper default 5).
+    pub negatives: usize,
+    /// Number of passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (word2vec default 0.025).
+    pub learning_rate: f32,
+    /// Final learning rate reached by linear decay.
+    pub min_learning_rate: f32,
+    /// Trainer kind.
+    pub kind: TrainerKind,
+    /// Parameter synchronization strategy.
+    pub sync: SyncStrategy,
+    /// Synchronization rounds per epoch (the paper's 0.1 s period maps to a
+    /// per-work-chunk boundary here).
+    pub sync_rounds_per_epoch: usize,
+    /// Worker threads per machine.
+    pub threads: usize,
+    /// Seed for initialization and negative sampling.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            dim: 128,
+            window: 10,
+            negatives: 5,
+            epochs: 1,
+            learning_rate: 0.025,
+            min_learning_rate: 0.0001,
+            kind: TrainerKind::Dsgl { multi_windows: 2 },
+            sync: SyncStrategy::HotnessBlock,
+            sync_rounds_per_epoch: 4,
+            threads: 2,
+            seed: 0,
+        }
+    }
+}
+
+impl TrainerConfig {
+    /// A configuration scaled down for unit tests and examples.
+    pub fn small() -> Self {
+        Self {
+            dim: 32,
+            window: 5,
+            negatives: 5,
+            epochs: 2,
+            sync_rounds_per_epoch: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style trainer kind override.
+    pub fn with_kind(mut self, kind: TrainerKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Builder-style dimension override.
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Builder-style epoch override.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Statistics of one distributed training run.
+#[derive(Clone, Debug, Default)]
+pub struct TrainStats {
+    /// Total (target, context) pairs processed across machines and epochs.
+    pub pairs_processed: u64,
+    /// Total corpus tokens per epoch.
+    pub corpus_tokens: u64,
+    /// Wall-clock training time (excluding corpus preparation).
+    pub training_secs: f64,
+    /// Processed pairs per second of wall-clock time.
+    pub throughput_pairs_per_sec: f64,
+    /// Synchronization traffic.
+    pub sync_comm: CommStats,
+    /// Average per-machine training-phase memory footprint in bytes (model
+    /// replica + negative table + corpus shard + local buffers).
+    pub avg_machine_memory_bytes: usize,
+}
+
+/// Trains node embeddings over `corpus` on `num_machines` simulated machines.
+///
+/// Returns the embeddings (node-id indexed, averaged over replicas) and the
+/// run statistics.
+pub fn train_distributed(
+    corpus: &Corpus,
+    num_machines: usize,
+    config: &TrainerConfig,
+) -> (Embeddings, TrainStats) {
+    assert!(num_machines > 0, "need at least one machine");
+    let n = corpus.num_nodes();
+    if n == 0 || corpus.total_tokens() == 0 {
+        return (Embeddings::zeros(n, config.dim), TrainStats::default());
+    }
+
+    let vocab = Vocab::from_corpus(corpus);
+    let table = NegativeTable::from_vocab(&vocab);
+    let sigmoid = SigmoidTable::new();
+
+    // Shard the corpus and convert every walk into rank space so that hot
+    // nodes occupy the top rows of the matrices (Improvement-I).
+    let shards: Vec<Vec<Vec<u32>>> = corpus
+        .split(num_machines)
+        .iter()
+        .map(|shard| {
+            shard
+                .walks()
+                .iter()
+                .map(|walk| walk.iter().map(|&v| vocab.rank_of(v)).collect())
+                .collect()
+        })
+        .collect();
+
+    let mut replicas: Vec<ModelReplica> = (0..num_machines)
+        .map(|_| ModelReplica::new(n, config.dim, config.seed))
+        .collect();
+
+    let mut sync_comm = CommStats::new();
+    let mut sync_rng = SplitMix64::new(config.seed ^ 0x5f3c_9a1d);
+    let total_chunks = (config.epochs * config.sync_rounds_per_epoch).max(1);
+    let mut pairs_processed = 0u64;
+    let mut peak_buffer_bytes = 0usize;
+
+    let start = std::time::Instant::now();
+    for chunk in 0..total_chunks {
+        let progress = chunk as f32 / total_chunks as f32;
+        let lr =
+            config.learning_rate - (config.learning_rate - config.min_learning_rate) * progress;
+        let slice_idx = chunk % config.sync_rounds_per_epoch.max(1);
+
+        // Machines run concurrently, each training its shard slice.
+        let chunk_results: Vec<(u64, usize)> = cb_thread::scope(|scope| {
+            let handles: Vec<_> = replicas
+                .iter()
+                .zip(shards.iter())
+                .enumerate()
+                .map(|(machine, (replica, shard))| {
+                    let vocab_ref = &table;
+                    let sigmoid_ref = &sigmoid;
+                    scope.spawn(move |_| {
+                        let slice = epoch_slice(shard, slice_idx, config.sync_rounds_per_epoch);
+                        train_machine_chunk(
+                            replica,
+                            slice,
+                            vocab_ref,
+                            sigmoid_ref,
+                            config,
+                            lr,
+                            machine as u64,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("training thread panicked");
+
+        for (pairs, buffer_bytes) in chunk_results {
+            pairs_processed += pairs;
+            peak_buffer_bytes = peak_buffer_bytes.max(buffer_bytes);
+        }
+
+        // Synchronize parameters across machines.
+        let ranks = select_sync_ranks(config.sync, &vocab, &mut sync_rng);
+        synchronize_replicas(&mut replicas, &ranks, &mut sync_comm);
+    }
+    let training_secs = start.elapsed().as_secs_f64();
+
+    // Memory accounting (Table 8): replica + table + shard + local buffers.
+    let shard_bytes = shards
+        .iter()
+        .map(|s| s.iter().map(|w| w.len() * 4).sum::<usize>())
+        .max()
+        .unwrap_or(0);
+    let avg_machine_memory_bytes =
+        replicas[0].memory_bytes() + table.memory_bytes() + shard_bytes + peak_buffer_bytes;
+
+    // Gather the final model and map rank-major rows back to node ids.
+    let rank_major = gather_phi_in(&replicas);
+    let mut node_major = vec![0.0f32; n * config.dim];
+    for rank in 0..n as u32 {
+        let node = vocab.node_at(rank) as usize;
+        let src = &rank_major[rank as usize * config.dim..(rank as usize + 1) * config.dim];
+        node_major[node * config.dim..(node + 1) * config.dim].copy_from_slice(src);
+    }
+
+    let stats = TrainStats {
+        pairs_processed,
+        corpus_tokens: corpus.total_tokens() as u64,
+        training_secs,
+        throughput_pairs_per_sec: if training_secs > 0.0 {
+            pairs_processed as f64 / training_secs
+        } else {
+            0.0
+        },
+        sync_comm,
+        avg_machine_memory_bytes,
+    };
+    (Embeddings::from_node_major(node_major, config.dim), stats)
+}
+
+/// Convenience wrapper: single-machine training.
+pub fn train(corpus: &Corpus, config: &TrainerConfig) -> (Embeddings, TrainStats) {
+    train_distributed(corpus, 1, config)
+}
+
+/// The `slice_idx`-th of `slices` contiguous portions of a shard.
+fn epoch_slice(shard: &[Vec<u32>], slice_idx: usize, slices: usize) -> &[Vec<u32>] {
+    let slices = slices.max(1);
+    let per = shard.len().div_ceil(slices);
+    let start = (slice_idx * per).min(shard.len());
+    let end = ((slice_idx + 1) * per).min(shard.len());
+    &shard[start..end]
+}
+
+/// Trains one machine's chunk with the configured kind and thread count.
+/// Returns `(pairs, peak_local_buffer_bytes)`.
+fn train_machine_chunk(
+    replica: &ModelReplica,
+    walks: &[Vec<u32>],
+    table: &NegativeTable,
+    sigmoid: &SigmoidTable,
+    config: &TrainerConfig,
+    lr: f32,
+    machine: u64,
+) -> (u64, usize) {
+    if walks.is_empty() {
+        return (0, 0);
+    }
+    let ctx = TrainContext {
+        phi_in: &replica.phi_in,
+        phi_out: &replica.phi_out,
+        negatives_table: table,
+        sigmoid,
+        window: config.window,
+        negatives: config.negatives,
+        learning_rate: lr,
+        seed: config.seed ^ (machine << 32),
+    };
+    let threads = config.threads.max(1).min(walks.len());
+    if threads == 1 {
+        return run_kind(&ctx, walks, config.kind, machine);
+    }
+    let per = walks.len().div_ceil(threads);
+    let results: Vec<(u64, usize)> = cb_thread::scope(|scope| {
+        let handles: Vec<_> = walks
+            .chunks(per)
+            .enumerate()
+            .map(|(t, chunk)| {
+                let ctx_ref = &ctx;
+                scope.spawn(move |_| run_kind(ctx_ref, chunk, config.kind, machine * 97 + t as u64))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("trainer worker thread panicked");
+    results
+        .into_iter()
+        .fold((0, 0), |(p, b), (pp, bb)| (p + pp, b.max(bb)))
+}
+
+fn run_kind(
+    ctx: &TrainContext<'_>,
+    walks: &[Vec<u32>],
+    kind: TrainerKind,
+    thread_id: u64,
+) -> (u64, usize) {
+    match kind {
+        TrainerKind::Hogwild => (train_walks_hogwild(ctx, walks, thread_id), 0),
+        TrainerKind::Pword2vec => (train_walks_pword2vec(ctx, walks, thread_id), 0),
+        TrainerKind::Dsgl { multi_windows } => {
+            train_walks_dsgl(ctx, walks, multi_windows, thread_id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Corpus mimicking two communities: walks stay inside {0..4} or {5..9}.
+    fn community_corpus() -> Corpus {
+        let mut walks = Vec::new();
+        let mut rng = SplitMix64::new(33);
+        for i in 0..200 {
+            let base: u32 = if i % 2 == 0 { 0 } else { 5 };
+            let walk: Vec<u32> = (0..12).map(|_| base + rng.next_bounded(5) as u32).collect();
+            walks.push(walk);
+        }
+        Corpus::from_walks(walks, 10)
+    }
+
+    fn avg_similarity(e: &Embeddings, pairs: &[(u32, u32)]) -> f32 {
+        pairs.iter().map(|&(a, b)| e.cosine(a, b)).sum::<f32>() / pairs.len() as f32
+    }
+
+    fn check_community_structure(e: &Embeddings) {
+        let intra = avg_similarity(e, &[(0, 1), (1, 2), (2, 3), (5, 6), (6, 7), (8, 9)]);
+        let inter = avg_similarity(e, &[(0, 5), (1, 6), (2, 7), (3, 8), (4, 9)]);
+        assert!(
+            intra > inter + 0.1,
+            "intra-community cosine {intra} must exceed inter {inter}"
+        );
+    }
+
+    #[test]
+    fn all_trainer_kinds_learn_community_structure() {
+        let corpus = community_corpus();
+        for kind in [
+            TrainerKind::Hogwild,
+            TrainerKind::Pword2vec,
+            TrainerKind::Dsgl { multi_windows: 2 },
+        ] {
+            let config = TrainerConfig::small().with_kind(kind).with_dim(16);
+            let (embeddings, stats) = train(&corpus, &config);
+            assert_eq!(embeddings.num_nodes(), 10);
+            assert!(stats.pairs_processed > 0, "{} did no work", kind.name());
+            check_community_structure(&embeddings);
+        }
+    }
+
+    #[test]
+    fn distributed_training_learns_and_syncs() {
+        let corpus = community_corpus();
+        let config = TrainerConfig::small().with_dim(16);
+        let (embeddings, stats) = train_distributed(&corpus, 4, &config);
+        check_community_structure(&embeddings);
+        assert!(stats.sync_comm.messages > 0, "machines must synchronize");
+        assert!(stats.avg_machine_memory_bytes > 0);
+        assert!(stats.throughput_pairs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn hotness_sync_traffic_is_smaller_than_full() {
+        let corpus = community_corpus();
+        let base = TrainerConfig::small().with_dim(8);
+        let full = TrainerConfig {
+            sync: SyncStrategy::Full,
+            ..base
+        };
+        let hot = TrainerConfig {
+            sync: SyncStrategy::HotnessBlock,
+            ..base
+        };
+        let (_, full_stats) = train_distributed(&corpus, 4, &full);
+        let (_, hot_stats) = train_distributed(&corpus, 4, &hot);
+        assert!(
+            hot_stats.sync_comm.bytes < full_stats.sync_comm.bytes,
+            "hotness-block sync {} must ship fewer bytes than full sync {}",
+            hot_stats.sync_comm.bytes,
+            full_stats.sync_comm.bytes
+        );
+    }
+
+    #[test]
+    fn empty_corpus_returns_zero_embeddings() {
+        let corpus = Corpus::new(5);
+        let (embeddings, stats) = train(&corpus, &TrainerConfig::small());
+        assert_eq!(embeddings.num_nodes(), 5);
+        assert_eq!(stats.pairs_processed, 0);
+    }
+
+    #[test]
+    fn single_machine_has_no_sync_traffic() {
+        let corpus = community_corpus();
+        let (_, stats) = train(&corpus, &TrainerConfig::small().with_dim(8));
+        assert_eq!(stats.sync_comm.messages, 0);
+    }
+
+    #[test]
+    fn epoch_slice_partitions_the_shard() {
+        let shard: Vec<Vec<u32>> = (0..10).map(|i| vec![i]).collect();
+        let mut seen = 0;
+        for s in 0..3 {
+            seen += epoch_slice(&shard, s, 3).len();
+        }
+        assert_eq!(seen, 10);
+        assert!(epoch_slice(&shard, 2, 3).len() <= 4);
+    }
+}

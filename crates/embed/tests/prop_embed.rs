@@ -1,0 +1,107 @@
+//! Property-based tests for the embedding learner's supporting structures.
+
+use distger_embed::negative::NegativeTable;
+use distger_embed::sync::select_sync_ranks;
+use distger_embed::{Embeddings, SyncStrategy, Vocab};
+use distger_walks::rng::SplitMix64;
+use proptest::prelude::*;
+
+proptest! {
+    /// The frequency-ordered vocabulary is a bijection between nodes and
+    /// ranks, with non-increasing frequencies by rank.
+    #[test]
+    fn vocab_is_bijective_and_sorted(freqs in prop::collection::vec(0u64..1000, 1..200)) {
+        let vocab = Vocab::from_frequencies(&freqs);
+        prop_assert_eq!(vocab.len(), freqs.len());
+        for node in 0..freqs.len() as u32 {
+            prop_assert_eq!(vocab.node_at(vocab.rank_of(node)), node);
+            prop_assert_eq!(vocab.freq_at(vocab.rank_of(node)), freqs[node as usize]);
+        }
+        prop_assert!(vocab.frequencies().windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    /// Hotness blocks tile the rank space exactly once and group equal
+    /// frequencies.
+    #[test]
+    fn hotness_blocks_tile_rank_space(freqs in prop::collection::vec(0u64..50, 1..150)) {
+        let vocab = Vocab::from_frequencies(&freqs);
+        let blocks = vocab.hotness_blocks();
+        let mut expected_start = 0u32;
+        for &(start, end) in &blocks {
+            prop_assert_eq!(start, expected_start, "blocks must be contiguous");
+            prop_assert!(end > start);
+            let f = vocab.freq_at(start);
+            for rank in start..end {
+                prop_assert_eq!(vocab.freq_at(rank), f);
+            }
+            if end < vocab.len() as u32 {
+                prop_assert_ne!(vocab.freq_at(end), f, "maximal runs only");
+            }
+            expected_start = end;
+        }
+        prop_assert_eq!(expected_start as usize, freqs.len());
+    }
+
+    /// The negative table only samples ranks whose frequency is non-zero
+    /// (unless the whole corpus is empty) and always returns valid ranks.
+    #[test]
+    fn negative_table_samples_valid_ranks(
+        freqs in prop::collection::vec(0u64..100, 1..80),
+        seeds in prop::collection::vec(any::<u64>(), 50),
+    ) {
+        let vocab = Vocab::from_frequencies(&freqs);
+        let table = NegativeTable::with_size(&vocab, 4096);
+        let any_nonzero = freqs.iter().any(|&f| f > 0);
+        for seed in seeds {
+            let rank = table.sample(seed);
+            prop_assert!((rank as usize) < freqs.len());
+            if any_nonzero {
+                prop_assert!(vocab.freq_at(rank) > 0, "zero-frequency rank sampled");
+            }
+        }
+    }
+
+    /// Hotness-block synchronization selects exactly one rank per non-empty
+    /// block, each inside its block.
+    #[test]
+    fn hotness_sync_selects_one_rank_per_block(
+        freqs in prop::collection::vec(0u64..20, 1..120),
+        seed in any::<u64>(),
+    ) {
+        let vocab = Vocab::from_frequencies(&freqs);
+        let mut rng = SplitMix64::new(seed);
+        let ranks = select_sync_ranks(SyncStrategy::HotnessBlock, &vocab, &mut rng);
+        let nonzero_blocks: Vec<(u32, u32)> = vocab
+            .hotness_blocks()
+            .into_iter()
+            .filter(|&(s, _)| vocab.freq_at(s) > 0)
+            .collect();
+        prop_assert_eq!(ranks.len(), nonzero_blocks.len());
+        for (rank, (start, end)) in ranks.iter().zip(nonzero_blocks) {
+            prop_assert!(*rank >= start && *rank < end);
+        }
+    }
+
+    /// Embedding similarity helpers: dot is symmetric, cosine stays in
+    /// [-1, 1] and cosine of a vector with itself is 1 (when non-zero).
+    #[test]
+    fn embedding_similarities_are_consistent(
+        data in prop::collection::vec(-1.0f32..1.0, 8..64),
+    ) {
+        let dim = 4;
+        let usable = (data.len() / dim) * dim;
+        let emb = Embeddings::from_node_major(data[..usable].to_vec(), dim);
+        let n = emb.num_nodes() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert!((emb.dot(u, v) - emb.dot(v, u)).abs() < 1e-5);
+                let c = emb.cosine(u, v);
+                prop_assert!((-1.0001..=1.0001).contains(&c));
+            }
+            let norm: f32 = emb.vector(u).iter().map(|x| x * x).sum();
+            if norm > 1e-6 {
+                prop_assert!((emb.cosine(u, u) - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+}

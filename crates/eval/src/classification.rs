@@ -1,0 +1,231 @@
+//! Multi-label node classification (§6.4, Figure 9).
+//!
+//! The paper trains a one-vs-rest logistic-regression classifier with L2
+//! regularization on the node embeddings and reports micro-/macro-averaged F1
+//! over training ratios. Following the standard protocol of DeepWalk /
+//! node2vec, the classifier predicts, for every test node, as many labels as
+//! the node truly has (top-`k` by score).
+
+use crate::metrics::{macro_f1, micro_f1, LabelCounts};
+use distger_embed::Embeddings;
+use distger_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of one classification evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClassificationScores {
+    /// Micro-averaged F1.
+    pub micro_f1: f64,
+    /// Macro-averaged F1.
+    pub macro_f1: f64,
+}
+
+/// One-vs-rest logistic regression trained by mini-batch-free SGD with L2
+/// regularization.
+#[derive(Clone, Debug)]
+pub struct OneVsRestLogReg {
+    num_labels: usize,
+    dim: usize,
+    /// `num_labels × (dim + 1)` weights (last column is the bias).
+    weights: Vec<f64>,
+}
+
+impl OneVsRestLogReg {
+    /// Trains the classifier on `(features, labels)` of the training nodes.
+    pub fn train(
+        features: &[&[f32]],
+        labels: &[&[u16]],
+        num_labels: usize,
+        epochs: usize,
+        learning_rate: f64,
+        l2: f64,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(features.len(), labels.len());
+        let dim = features.first().map_or(0, |f| f.len());
+        let mut model = Self {
+            num_labels,
+            dim,
+            weights: vec![0.0; num_labels * (dim + 1)],
+        };
+        if features.is_empty() || num_labels == 0 {
+            return model;
+        }
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for epoch in 0..epochs {
+            order.shuffle(&mut rng);
+            let lr = learning_rate / (1.0 + epoch as f64 * 0.1);
+            for &i in &order {
+                let x = features[i];
+                for label in 0..num_labels {
+                    let y = if labels[i].contains(&(label as u16)) {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    let p = model.probability(label, x);
+                    let err = y - p;
+                    let w = &mut model.weights[label * (dim + 1)..(label + 1) * (dim + 1)];
+                    for d in 0..dim {
+                        w[d] += lr * (err * x[d] as f64 - l2 * w[d]);
+                    }
+                    w[dim] += lr * err; // bias
+                }
+            }
+        }
+        model
+    }
+
+    /// `P(label | x)` under the logistic model.
+    pub fn probability(&self, label: usize, x: &[f32]) -> f64 {
+        let w = &self.weights[label * (self.dim + 1)..(label + 1) * (self.dim + 1)];
+        let mut z = w[self.dim];
+        for d in 0..self.dim {
+            z += w[d] * x[d] as f64;
+        }
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Returns the `k` highest-scoring labels for `x`.
+    pub fn predict_top_k(&self, x: &[f32], k: usize) -> Vec<u16> {
+        let mut scored: Vec<(f64, u16)> = (0..self.num_labels)
+            .map(|l| (self.probability(l, x), l as u16))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.into_iter().take(k).map(|(_, l)| l).collect()
+    }
+}
+
+/// Evaluates multi-label node classification at a given training ratio,
+/// averaged over `trials` random train/test splits (the paper uses 50; the
+/// harness uses fewer to stay laptop-friendly).
+pub fn evaluate_classification(
+    embeddings: &Embeddings,
+    labels: &[Vec<u16>],
+    num_labels: usize,
+    train_ratio: f64,
+    trials: usize,
+    seed: u64,
+) -> ClassificationScores {
+    assert!(embeddings.num_nodes() >= labels.len());
+    assert!((0.0..1.0).contains(&train_ratio) && train_ratio > 0.0);
+    let n = labels.len();
+    let mut micro_sum = 0.0;
+    let mut macro_sum = 0.0;
+    for trial in 0..trials.max(1) {
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
+        order.shuffle(&mut rng);
+        let train_count = ((n as f64 * train_ratio).round() as usize).clamp(1, n - 1);
+        let (train_idx, test_idx) = order.split_at(train_count);
+
+        let train_features: Vec<&[f32]> = train_idx
+            .iter()
+            .map(|&i| embeddings.vector(i as NodeId))
+            .collect();
+        let train_labels: Vec<&[u16]> = train_idx.iter().map(|&i| labels[i].as_slice()).collect();
+        let model = OneVsRestLogReg::train(
+            &train_features,
+            &train_labels,
+            num_labels,
+            30,
+            0.1,
+            1e-4,
+            seed ^ trial as u64,
+        );
+
+        let mut counts = LabelCounts::new(num_labels);
+        for &i in test_idx {
+            let truth = &labels[i];
+            let predicted = model.predict_top_k(embeddings.vector(i as NodeId), truth.len());
+            counts.record(truth, &predicted);
+        }
+        micro_sum += micro_f1(&counts);
+        macro_sum += macro_f1(&counts);
+    }
+    ClassificationScores {
+        micro_f1: micro_sum / trials.max(1) as f64,
+        macro_f1: macro_sum / trials.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic embeddings where the label is linearly separable.
+    fn separable_setup(n: usize) -> (Embeddings, Vec<Vec<u16>>) {
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let cluster = (i % 3) as u16;
+            let angle = cluster as f32 * 2.0944; // 120° apart
+            let jitter = (i as f32 * 0.37).sin() * 0.1;
+            data.push(angle.cos() + jitter);
+            data.push(angle.sin() - jitter);
+            labels.push(vec![cluster]);
+        }
+        (Embeddings::from_node_major(data, 2), labels)
+    }
+
+    #[test]
+    fn logreg_learns_separable_labels() {
+        let (emb, labels) = separable_setup(150);
+        let scores = evaluate_classification(&emb, &labels, 3, 0.5, 3, 7);
+        assert!(scores.micro_f1 > 0.9, "micro {}", scores.micro_f1);
+        assert!(scores.macro_f1 > 0.9, "macro {}", scores.macro_f1);
+    }
+
+    #[test]
+    fn random_embeddings_score_poorly() {
+        let n = 120;
+        let data: Vec<f32> = (0..n * 4)
+            .map(|i| ((i as f32 * 12.9898).sin() * 43758.547).fract() - 0.5)
+            .collect();
+        let emb = Embeddings::from_node_major(data, 4);
+        let labels: Vec<Vec<u16>> = (0..n).map(|i| vec![(i % 4) as u16]).collect();
+        let scores = evaluate_classification(&emb, &labels, 4, 0.5, 2, 3);
+        assert!(
+            scores.micro_f1 < 0.6,
+            "uninformative embeddings should not classify well, micro {}",
+            scores.micro_f1
+        );
+    }
+
+    #[test]
+    fn predict_top_k_returns_k_distinct_labels() {
+        let (emb, labels) = separable_setup(60);
+        let feats: Vec<&[f32]> = (0..60).map(|i| emb.vector(i as NodeId)).collect();
+        let labs: Vec<&[u16]> = labels.iter().map(|l| l.as_slice()).collect();
+        let model = OneVsRestLogReg::train(&feats, &labs, 3, 20, 0.1, 1e-4, 1);
+        let top2 = model.predict_top_k(emb.vector(0), 2);
+        assert_eq!(top2.len(), 2);
+        assert_ne!(top2[0], top2[1]);
+        for p in model.predict_top_k(emb.vector(5), 3) {
+            assert!(p < 3);
+        }
+    }
+
+    #[test]
+    fn empty_training_set_yields_default_model() {
+        let model = OneVsRestLogReg::train(&[], &[], 3, 5, 0.1, 0.0, 1);
+        assert_eq!(model.predict_top_k(&[0.0, 0.0], 1).len(), 1);
+    }
+
+    #[test]
+    fn multi_label_nodes_are_supported() {
+        let (emb, mut labels) = separable_setup(90);
+        // Give every 10th node a second label.
+        for i in (0..90).step_by(10) {
+            let extra = ((i / 10) % 3) as u16;
+            if !labels[i].contains(&extra) {
+                labels[i].push(extra);
+            }
+        }
+        let scores = evaluate_classification(&emb, &labels, 3, 0.6, 2, 11);
+        assert!(scores.micro_f1 > 0.7);
+    }
+}

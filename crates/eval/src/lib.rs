@@ -1,0 +1,17 @@
+//! Downstream-task evaluation for the DistGER reproduction (§6.4).
+//!
+//! * [`link_prediction`] — the paper's primary effectiveness metric: 50 % of
+//!   the edges are removed as positive test pairs, an equal number of
+//!   non-edges are sampled as negatives, and edges are scored by the
+//!   dot-product of the endpoint embeddings; quality is the AUC.
+//! * [`classification`] — multi-label node classification with a one-vs-rest
+//!   logistic-regression classifier, reported as micro- and macro-averaged F1
+//!   over a range of training ratios (Figure 9).
+
+pub mod classification;
+pub mod link_prediction;
+pub mod metrics;
+
+pub use classification::{evaluate_classification, ClassificationScores};
+pub use link_prediction::{auc_score, evaluate_link_prediction, split_edges, EdgeSplit};
+pub use metrics::{macro_f1, micro_f1, LabelCounts};

@@ -1,0 +1,200 @@
+//! Link prediction (§6.4).
+//!
+//! Following the paper (and [17, 18, 53, 69]): half of the edges are removed
+//! uniformly at random as positive test pairs, the remaining edges form the
+//! training graph on which embeddings are learned, an equal number of
+//! non-adjacent node pairs are sampled as negative test pairs, and a pair
+//! `(u, v)` is scored by `φ(u) · φ(v)`. Effectiveness is the area under the
+//! ROC curve (AUC) — higher is better.
+
+use distger_embed::Embeddings;
+use distger_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A train/test split of the edge set for link prediction.
+#[derive(Clone, Debug)]
+pub struct EdgeSplit {
+    /// The graph containing only the retained (training) edges.
+    pub train_graph: CsrGraph,
+    /// Removed edges — the positive test pairs.
+    pub test_positive: Vec<(NodeId, NodeId)>,
+    /// Sampled non-edges — the negative test pairs.
+    pub test_negative: Vec<(NodeId, NodeId)>,
+}
+
+/// Removes `test_fraction` of the edges as positive test pairs and samples an
+/// equal number of non-edges as negatives (the paper uses 0.5).
+pub fn split_edges(graph: &CsrGraph, test_fraction: f64, seed: u64) -> EdgeSplit {
+    assert!((0.0..1.0).contains(&test_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId, f32)> = graph.edges().collect();
+    edges.shuffle(&mut rng);
+    let test_count = (edges.len() as f64 * test_fraction).round() as usize;
+    let (test, train) = edges.split_at(test_count.min(edges.len()));
+
+    let mut builder = if graph.is_directed() {
+        GraphBuilder::new_directed()
+    } else {
+        GraphBuilder::new_undirected()
+    };
+    builder.reserve_nodes(graph.num_nodes());
+    for &(u, v, w) in train {
+        if graph.is_weighted() {
+            builder.add_weighted_edge(u, v, w);
+        } else {
+            builder.add_edge(u, v);
+        }
+    }
+    let train_graph = builder.build();
+
+    let n = graph.num_nodes() as NodeId;
+    let mut test_negative = Vec::with_capacity(test.len());
+    let mut guard = 0usize;
+    while test_negative.len() < test.len() && guard < 100 * test.len().max(1) {
+        guard += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && !graph.has_edge(u, v) {
+            test_negative.push((u, v));
+        }
+    }
+
+    EdgeSplit {
+        train_graph,
+        test_positive: test.iter().map(|&(u, v, _)| (u, v)).collect(),
+        test_negative,
+    }
+}
+
+/// Area under the ROC curve given scores of positive and negative examples
+/// (Mann–Whitney U formulation; ties count one half).
+pub fn auc_score(positive: &[f64], negative: &[f64]) -> f64 {
+    if positive.is_empty() || negative.is_empty() {
+        return 0.5;
+    }
+    // Sort all scores once and accumulate ranks of the positives.
+    let mut all: Vec<(f64, bool)> = positive
+        .iter()
+        .map(|&s| (s, true))
+        .chain(negative.iter().map(|&s| (s, false)))
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Average ranks over ties.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < all.len() {
+        let mut j = i;
+        while j + 1 < all.len() && all[j + 1].0 == all[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for item in all.iter().take(j + 1).skip(i) {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let np = positive.len() as f64;
+    let nn = negative.len() as f64;
+    (rank_sum_pos - np * (np + 1.0) / 2.0) / (np * nn)
+}
+
+/// Scores an edge split with dot-product similarity and returns the AUC.
+pub fn evaluate_link_prediction(embeddings: &Embeddings, split: &EdgeSplit) -> f64 {
+    let score = |pairs: &[(NodeId, NodeId)]| -> Vec<f64> {
+        pairs
+            .iter()
+            .map(|&(u, v)| embeddings.dot(u, v) as f64)
+            .collect()
+    };
+    auc_score(&score(&split.test_positive), &score(&split.test_negative))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distger_graph::barabasi_albert;
+
+    #[test]
+    fn auc_perfect_and_random_and_inverted() {
+        assert_eq!(auc_score(&[2.0, 3.0, 4.0], &[0.0, 1.0]), 1.0);
+        assert_eq!(auc_score(&[0.0, 1.0], &[2.0, 3.0, 4.0]), 0.0);
+        assert_eq!(auc_score(&[1.0, 1.0], &[1.0, 1.0]), 0.5);
+        assert_eq!(auc_score(&[], &[1.0]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_partial_overlap() {
+        let auc = auc_score(&[0.9, 0.7, 0.3], &[0.8, 0.2, 0.1]);
+        // Positives rank 1st, 3rd, 5th from the top → AUC = 7/9.
+        assert!((auc - 7.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_edges_preserves_counts_and_disjointness() {
+        let g = barabasi_albert(300, 4, 3);
+        let split = split_edges(&g, 0.5, 7);
+        let expected_test = (g.num_edges() as f64 * 0.5).round() as usize;
+        assert_eq!(split.test_positive.len(), expected_test);
+        assert_eq!(split.test_negative.len(), expected_test);
+        assert_eq!(
+            split.train_graph.num_edges() + split.test_positive.len(),
+            g.num_edges()
+        );
+        // Positive test edges must not appear in the training graph; negatives
+        // must not be edges of the original graph at all.
+        for &(u, v) in &split.test_positive {
+            assert!(g.has_edge(u, v));
+            assert!(!split.train_graph.has_edge(u, v));
+        }
+        for &(u, v) in &split.test_negative {
+            assert!(!g.has_edge(u, v));
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let g = barabasi_albert(100, 3, 1);
+        let a = split_edges(&g, 0.3, 5);
+        let b = split_edges(&g, 0.3, 5);
+        assert_eq!(a.test_positive, b.test_positive);
+        assert_eq!(a.test_negative, b.test_negative);
+        let c = split_edges(&g, 0.3, 6);
+        assert_ne!(a.test_positive, c.test_positive);
+    }
+
+    #[test]
+    fn good_embeddings_score_high_auc() {
+        // Hand-crafted embeddings where adjacent nodes share a direction:
+        // two clusters, edges only inside clusters.
+        let mut b = GraphBuilder::new_undirected();
+        for i in 0..10u32 {
+            for j in (i + 1)..10 {
+                if (i < 5) == (j < 5) {
+                    b.add_edge(i, j);
+                }
+            }
+        }
+        let g = b.build();
+        let mut data = Vec::new();
+        for i in 0..10 {
+            if i < 5 {
+                data.extend_from_slice(&[1.0, 0.0]);
+            } else {
+                data.extend_from_slice(&[0.0, 1.0]);
+            }
+        }
+        let e = Embeddings::from_node_major(data, 2);
+        let split = split_edges(&g, 0.5, 2);
+        let auc = evaluate_link_prediction(&e, &split);
+        assert!(
+            auc > 0.9,
+            "cluster-aligned embeddings should give high AUC, got {auc}"
+        );
+    }
+}

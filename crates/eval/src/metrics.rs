@@ -1,0 +1,144 @@
+//! Micro- and macro-averaged F1 scores for multi-label classification.
+//!
+//! Following the paper (§6.4): Micro-F1 gives equal weight to every test
+//! instance (global true/false positive counts), Macro-F1 gives equal weight
+//! to every label category (per-label F1, then averaged).
+
+/// Per-label true-positive / false-positive / false-negative counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LabelCounts {
+    tp: Vec<u64>,
+    fp: Vec<u64>,
+    fne: Vec<u64>,
+}
+
+impl LabelCounts {
+    /// Creates zeroed counts for `num_labels` labels.
+    pub fn new(num_labels: usize) -> Self {
+        Self {
+            tp: vec![0; num_labels],
+            fp: vec![0; num_labels],
+            fne: vec![0; num_labels],
+        }
+    }
+
+    /// Number of labels.
+    pub fn num_labels(&self) -> usize {
+        self.tp.len()
+    }
+
+    /// Records one instance given its true and predicted label sets.
+    pub fn record(&mut self, truth: &[u16], predicted: &[u16]) {
+        for &l in predicted {
+            if truth.contains(&l) {
+                self.tp[l as usize] += 1;
+            } else {
+                self.fp[l as usize] += 1;
+            }
+        }
+        for &l in truth {
+            if !predicted.contains(&l) {
+                self.fne[l as usize] += 1;
+            }
+        }
+    }
+
+    /// Per-label `(tp, fp, fn)` triple.
+    pub fn label(&self, l: usize) -> (u64, u64, u64) {
+        (self.tp[l], self.fp[l], self.fne[l])
+    }
+}
+
+fn f1(tp: u64, fp: u64, fne: u64) -> f64 {
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fne) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Micro-averaged F1: compute precision/recall from global counts.
+pub fn micro_f1(counts: &LabelCounts) -> f64 {
+    let tp: u64 = counts.tp.iter().sum();
+    let fp: u64 = counts.fp.iter().sum();
+    let fne: u64 = counts.fne.iter().sum();
+    f1(tp, fp, fne)
+}
+
+/// Macro-averaged F1: mean of the per-label F1 scores over labels that occur
+/// in the truth or the predictions.
+pub fn macro_f1(counts: &LabelCounts) -> f64 {
+    let mut sum = 0.0;
+    let mut active = 0usize;
+    for l in 0..counts.num_labels() {
+        let (tp, fp, fne) = counts.label(l);
+        if tp + fp + fne == 0 {
+            continue;
+        }
+        sum += f1(tp, fp, fne);
+        active += 1;
+    }
+    if active == 0 {
+        0.0
+    } else {
+        sum / active as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_give_f1_one() {
+        let mut c = LabelCounts::new(3);
+        c.record(&[0, 2], &[0, 2]);
+        c.record(&[1], &[1]);
+        assert_eq!(micro_f1(&c), 1.0);
+        assert_eq!(macro_f1(&c), 1.0);
+    }
+
+    #[test]
+    fn completely_wrong_predictions_give_zero() {
+        let mut c = LabelCounts::new(2);
+        c.record(&[0], &[1]);
+        c.record(&[1], &[0]);
+        assert_eq!(micro_f1(&c), 0.0);
+        assert_eq!(macro_f1(&c), 0.0);
+    }
+
+    #[test]
+    fn micro_weights_instances_macro_weights_labels() {
+        let mut c = LabelCounts::new(2);
+        // Label 0: 9 correct instances; label 1: 1 incorrect instance.
+        for _ in 0..9 {
+            c.record(&[0], &[0]);
+        }
+        c.record(&[1], &[0]);
+        let micro = micro_f1(&c);
+        let macro_ = macro_f1(&c);
+        assert!(micro > 0.85, "micro {micro}");
+        // Macro averages label 0 (high) with label 1 (zero) → much lower.
+        assert!(macro_ < micro, "macro {macro_} must be below micro {micro}");
+    }
+
+    #[test]
+    fn unused_labels_are_ignored_by_macro() {
+        let mut c = LabelCounts::new(10);
+        c.record(&[0], &[0]);
+        assert_eq!(macro_f1(&c), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_multi_label() {
+        let mut c = LabelCounts::new(3);
+        c.record(&[0, 1], &[1, 2]);
+        // tp: label1; fp: label2; fn: label0.
+        assert_eq!(c.label(1), (1, 0, 0));
+        assert_eq!(c.label(2), (0, 1, 0));
+        assert_eq!(c.label(0), (0, 0, 1));
+        let micro = micro_f1(&c);
+        assert!((micro - 0.5).abs() < 1e-12);
+    }
+}

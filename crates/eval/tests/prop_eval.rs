@@ -1,0 +1,84 @@
+//! Property-based tests for the evaluation metrics.
+
+use distger_eval::{auc_score, macro_f1, micro_f1, split_edges, LabelCounts};
+use distger_graph::GraphBuilder;
+use proptest::prelude::*;
+
+proptest! {
+    /// AUC is bounded, anti-symmetric under swapping the classes, and equals
+    /// 1.0 / 0.0 for perfectly separated scores.
+    #[test]
+    fn auc_properties(
+        pos in prop::collection::vec(-100.0f64..100.0, 1..60),
+        neg in prop::collection::vec(-100.0f64..100.0, 1..60),
+    ) {
+        let auc = auc_score(&pos, &neg);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        let swapped = auc_score(&neg, &pos);
+        prop_assert!((auc + swapped - 1.0).abs() < 1e-9, "AUC must be anti-symmetric");
+    }
+
+    /// Shifting every positive score above every negative score yields AUC 1.
+    #[test]
+    fn auc_of_separated_scores_is_one(
+        pos in prop::collection::vec(0.0f64..1.0, 1..40),
+        neg in prop::collection::vec(0.0f64..1.0, 1..40),
+    ) {
+        let shifted: Vec<f64> = pos.iter().map(|p| p + 2.0).collect();
+        prop_assert_eq!(auc_score(&shifted, &neg), 1.0);
+        prop_assert_eq!(auc_score(&neg, &shifted), 0.0);
+    }
+
+    /// F1 scores are bounded and perfect predictions give exactly 1.
+    #[test]
+    fn f1_bounds(truth in prop::collection::vec(0u16..6, 1..100)) {
+        let mut perfect = LabelCounts::new(6);
+        let mut shifted = LabelCounts::new(6);
+        for &t in &truth {
+            perfect.record(&[t], &[t]);
+            shifted.record(&[t], &[(t + 1) % 6]);
+        }
+        prop_assert_eq!(micro_f1(&perfect), 1.0);
+        prop_assert_eq!(macro_f1(&perfect), 1.0);
+        prop_assert_eq!(micro_f1(&shifted), 0.0);
+        let mixed = {
+            let mut c = LabelCounts::new(6);
+            for (i, &t) in truth.iter().enumerate() {
+                let predicted = if i % 2 == 0 { t } else { (t + 1) % 6 };
+                c.record(&[t], &[predicted]);
+            }
+            c
+        };
+        prop_assert!((0.0..=1.0).contains(&micro_f1(&mixed)));
+        prop_assert!((0.0..=1.0).contains(&macro_f1(&mixed)));
+    }
+
+    /// Edge splitting conserves edges, keeps the test sets disjoint from the
+    /// training graph, and never fabricates edges.
+    #[test]
+    fn edge_split_conserves_edges(
+        edges in prop::collection::vec((0u32..30, 0u32..30), 5..120),
+        fraction in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let mut b = GraphBuilder::new_undirected();
+        for (u, v) in edges { b.add_edge(u, v); }
+        b.reserve_nodes(30);
+        let g = b.build();
+        prop_assume!(g.num_edges() >= 4);
+        let split = split_edges(&g, fraction, seed);
+        prop_assert_eq!(
+            split.train_graph.num_edges() + split.test_positive.len(),
+            g.num_edges()
+        );
+        for &(u, v) in &split.test_positive {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(!split.train_graph.has_edge(u, v));
+        }
+        for &(u, v) in &split.test_negative {
+            prop_assert!(!g.has_edge(u, v));
+            prop_assert_ne!(u, v);
+        }
+        prop_assert!(split.test_negative.len() <= split.test_positive.len());
+    }
+}

@@ -1,0 +1,196 @@
+//! Incremental edge-list graph construction.
+
+use crate::csr::CsrGraph;
+use crate::{EdgeWeight, NodeId};
+
+/// Builds a [`CsrGraph`] from a stream of edges.
+///
+/// Duplicate edges and self-loops are dropped (the paper's random-walk models
+/// assume simple graphs). For undirected graphs each added edge is stored in
+/// both directions.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    edges: Vec<(NodeId, NodeId, EdgeWeight)>,
+    directed: bool,
+    weighted: bool,
+    max_node: Option<NodeId>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for an undirected, unweighted graph.
+    pub fn new_undirected() -> Self {
+        Self::new(false)
+    }
+
+    /// Creates a builder for a directed, unweighted graph.
+    pub fn new_directed() -> Self {
+        Self::new(true)
+    }
+
+    fn new(directed: bool) -> Self {
+        Self {
+            edges: Vec::new(),
+            directed,
+            weighted: false,
+            max_node: None,
+        }
+    }
+
+    /// Ensures the built graph has at least `n` nodes even if some of them end
+    /// up isolated.
+    pub fn reserve_nodes(&mut self, n: usize) -> &mut Self {
+        if n > 0 {
+            let max = (n - 1) as NodeId;
+            self.max_node = Some(self.max_node.map_or(max, |m| m.max(max)));
+        }
+        self
+    }
+
+    /// Adds an unweighted edge.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.add_weighted_edge(u, v, 1.0)
+    }
+
+    /// Adds a weighted edge. Mixing weighted and unweighted additions marks
+    /// the whole graph as weighted (missing weights default to `1.0`).
+    pub fn add_weighted_edge(&mut self, u: NodeId, v: NodeId, w: EdgeWeight) -> &mut Self {
+        if u == v {
+            return self; // drop self-loops
+        }
+        if w != 1.0 {
+            self.weighted = true;
+        }
+        self.edges.push((u, v, w));
+        let hi = u.max(v);
+        self.max_node = Some(self.max_node.map_or(hi, |m| m.max(hi)));
+        self
+    }
+
+    /// Adds every edge from an iterator of `(u, v)` pairs.
+    pub fn extend_edges(&mut self, iter: impl IntoIterator<Item = (NodeId, NodeId)>) -> &mut Self {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edge has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Marks the graph as weighted even if every weight is `1.0`.
+    pub fn force_weighted(&mut self) -> &mut Self {
+        self.weighted = true;
+        self
+    }
+
+    /// Consumes the builder and produces the CSR graph.
+    pub fn build(&self) -> CsrGraph {
+        let n = self.max_node.map_or(0, |m| m as usize + 1);
+
+        // Materialize arcs: one per direction for undirected graphs.
+        let mut arcs: Vec<(NodeId, NodeId, EdgeWeight)> =
+            Vec::with_capacity(self.edges.len() * if self.directed { 1 } else { 2 });
+        for &(u, v, w) in &self.edges {
+            arcs.push((u, v, w));
+            if !self.directed {
+                arcs.push((v, u, w));
+            }
+        }
+        arcs.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        arcs.dedup_by_key(|&mut (u, v, _)| (u, v));
+
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _, _) in &arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<NodeId> = arcs.iter().map(|&(_, v, _)| v).collect();
+        let weights = if self.weighted {
+            Some(arcs.iter().map(|&(_, _, w)| w).collect())
+        } else {
+            None
+        };
+
+        let num_edges = if self.directed {
+            arcs.len()
+        } else {
+            arcs.len() / 2
+        };
+        CsrGraph::from_parts(offsets, targets, weights, self.directed, num_edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_and_self_loops_dropped() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1);
+        b.add_edge(1, 0); // duplicate of the same undirected edge
+        b.add_edge(0, 1); // exact duplicate
+        b.add_edge(2, 2); // self loop
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn reserve_nodes_creates_isolated_nodes() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1);
+        b.reserve_nodes(10);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn weighted_edges_round_trip() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_weighted_edge(0, 1, 2.5);
+        b.add_weighted_edge(1, 2, 4.0);
+        let g = b.build();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(1, 0), Some(2.5));
+        assert_eq!(g.edge_weight(2, 1), Some(4.0));
+    }
+
+    #[test]
+    fn directed_builder_keeps_direction() {
+        let mut b = GraphBuilder::new_directed();
+        b.add_edge(3, 1);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 4);
+        assert!(g.has_edge(3, 1));
+        assert!(!g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn extend_edges_builds_path() {
+        let mut b = GraphBuilder::new_undirected();
+        b.extend_edges((0..5u32).map(|i| (i, i + 1)));
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new_undirected().build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(GraphBuilder::new_undirected().is_empty());
+    }
+}

@@ -1,0 +1,608 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on five real-world graphs (Flickr, YouTube,
+//! LiveJournal, Com-Orkut, Twitter) plus R-MAT synthetic graphs for the
+//! scalability study (§6.3, [11]). Those datasets are not redistributable
+//! here, so this module provides generators that reproduce the structural
+//! properties the paper's mechanisms depend on — power-law degree skew,
+//! community locality, and controllable scale — plus scaled-down "stand-in"
+//! presets for each paper dataset (see [`PaperDataset`]).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::NodeId;
+
+/// A graph together with multi-label ground truth, used for the
+/// node-classification experiments (Figure 9).
+#[derive(Clone, Debug)]
+pub struct LabeledGraph {
+    /// The generated graph.
+    pub graph: CsrGraph,
+    /// `labels[u]` holds the label ids assigned to node `u` (multi-label).
+    pub labels: Vec<Vec<u16>>,
+    /// Total number of distinct labels.
+    pub num_labels: usize,
+}
+
+/// Barabási–Albert preferential-attachment graph: `n` nodes, each new node
+/// attaches to `m` existing nodes chosen proportionally to degree. Produces
+/// the power-law degree distribution that HuGE's information-oriented walks
+/// and DSGL's hotness blocks rely on (§2.1, §4.2).
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m >= 1, "attachment count must be at least 1");
+    assert!(
+        n > m,
+        "graph must have more nodes than the attachment count"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new_undirected();
+    builder.reserve_nodes(n);
+
+    // Repeated-nodes list: node u appears deg(u) times, giving cheap
+    // degree-proportional sampling.
+    let mut repeated: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique over the first m+1 nodes.
+    for u in 0..=(m as NodeId) {
+        for v in 0..u {
+            builder.add_edge(u, v);
+            repeated.push(u);
+            repeated.push(v);
+        }
+    }
+
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+    for u in (m as NodeId + 1)..(n as NodeId) {
+        targets.clear();
+        let mut guard = 0usize;
+        while targets.len() < m && guard < 50 * m {
+            guard += 1;
+            let v = repeated[rng.gen_range(0..repeated.len())];
+            if v != u && !targets.contains(&v) {
+                targets.push(v);
+            }
+        }
+        for &v in &targets {
+            builder.add_edge(u, v);
+            repeated.push(u);
+            repeated.push(v);
+        }
+    }
+    builder.build()
+}
+
+/// Holme–Kim "power-law cluster" graph: Barabási–Albert preferential
+/// attachment where, after each preferential link, a triad-formation step
+/// connects the new node to a random neighbour of the node it just attached
+/// to with probability `triad_p`. Produces both the heavy-tailed degree
+/// distribution *and* the high clustering / common-neighbour structure of the
+/// paper's real social graphs, which the information-oriented walks (Eq. 3)
+/// and link prediction (§6.4) rely on.
+pub fn powerlaw_cluster(n: usize, m: usize, triad_p: f64, seed: u64) -> CsrGraph {
+    assert!(m >= 1, "attachment count must be at least 1");
+    assert!(
+        n > m,
+        "graph must have more nodes than the attachment count"
+    );
+    assert!((0.0..=1.0).contains(&triad_p));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new_undirected();
+    builder.reserve_nodes(n);
+
+    let mut repeated: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let connect = |builder: &mut GraphBuilder,
+                   repeated: &mut Vec<NodeId>,
+                   adjacency: &mut Vec<Vec<NodeId>>,
+                   u: NodeId,
+                   v: NodeId| {
+        builder.add_edge(u, v);
+        repeated.push(u);
+        repeated.push(v);
+        adjacency[u as usize].push(v);
+        adjacency[v as usize].push(u);
+    };
+
+    for u in 0..=(m as NodeId) {
+        for v in 0..u {
+            connect(&mut builder, &mut repeated, &mut adjacency, u, v);
+        }
+    }
+
+    for u in (m as NodeId + 1)..(n as NodeId) {
+        let mut added: Vec<NodeId> = Vec::with_capacity(m);
+        let mut last_attached: Option<NodeId> = None;
+        let mut guard = 0usize;
+        while added.len() < m && guard < 50 * m {
+            guard += 1;
+            // Triad-formation step with probability triad_p (when possible).
+            let candidate = if let Some(prev) = last_attached {
+                if rng.gen::<f64>() < triad_p && !adjacency[prev as usize].is_empty() {
+                    adjacency[prev as usize][rng.gen_range(0..adjacency[prev as usize].len())]
+                } else {
+                    repeated[rng.gen_range(0..repeated.len())]
+                }
+            } else {
+                repeated[rng.gen_range(0..repeated.len())]
+            };
+            if candidate != u && !added.contains(&candidate) {
+                added.push(candidate);
+                last_attached = Some(candidate);
+            }
+        }
+        for &v in &added {
+            connect(&mut builder, &mut repeated, &mut adjacency, u, v);
+        }
+    }
+    builder.build()
+}
+
+/// Community-structured power-law graph (LFR-like): nodes are divided into
+/// `communities` equally sized groups; every node draws `m` edges on average,
+/// a `1 − mixing` fraction of which attach preferentially *inside* its own
+/// community and the rest attach preferentially anywhere. The result combines
+/// the heavy-tailed degrees of Barabási–Albert with the dense local
+/// neighbourhoods of real social graphs, which is what makes link prediction
+/// and node classification meaningful (§6.4).
+pub fn community_powerlaw(
+    n: usize,
+    communities: usize,
+    m: usize,
+    mixing: f64,
+    seed: u64,
+) -> CsrGraph {
+    assert!(communities >= 1);
+    assert!(m >= 1);
+    assert!((0.0..=1.0).contains(&mixing));
+    assert!(
+        n >= communities * 3,
+        "communities must have at least 3 nodes"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new_undirected();
+    builder.reserve_nodes(n);
+
+    let block = n.div_ceil(communities);
+    let community_of = |u: usize| (u / block).min(communities - 1);
+
+    // Per-community and global repeated-node lists for preferential attachment.
+    let mut local_repeat: Vec<Vec<NodeId>> = vec![Vec::new(); communities];
+    let mut global_repeat: Vec<NodeId> = Vec::new();
+
+    for u in 0..n {
+        let c = community_of(u);
+        let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+        let mut guard = 0usize;
+        while targets.len() < m && guard < 60 * m {
+            guard += 1;
+            let inside = rng.gen::<f64>() >= mixing;
+            let candidate = if inside && !local_repeat[c].is_empty() {
+                local_repeat[c][rng.gen_range(0..local_repeat[c].len())]
+            } else if inside {
+                // Community still empty: pick any node already placed in it.
+                let lo = (c * block) as NodeId;
+                let hi = (u as NodeId).max(lo);
+                if hi == lo {
+                    continue;
+                }
+                rng.gen_range(lo..hi)
+            } else if !global_repeat.is_empty() {
+                global_repeat[rng.gen_range(0..global_repeat.len())]
+            } else {
+                continue;
+            };
+            if candidate != u as NodeId && !targets.contains(&candidate) {
+                targets.push(candidate);
+            }
+        }
+        for &v in &targets {
+            builder.add_edge(u as NodeId, v);
+            let cv = community_of(v as usize);
+            local_repeat[c].push(u as NodeId);
+            local_repeat[cv].push(v);
+            global_repeat.push(u as NodeId);
+            global_repeat.push(v);
+        }
+        // Make sure every node is represented at least once.
+        if targets.is_empty() {
+            local_repeat[c].push(u as NodeId);
+            global_repeat.push(u as NodeId);
+        }
+    }
+    builder.build()
+}
+
+/// Erdős–Rényi `G(n, p)` graph (undirected). Used as a low-skew contrast
+/// workload in tests and ablations.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new_undirected();
+    builder.reserve_nodes(n);
+    if p > 0.0 {
+        // Geometric skipping over the upper-triangular adjacency matrix keeps
+        // generation O(#edges) instead of O(n²).
+        let log_q = (1.0 - p).ln();
+        let total_pairs = (n as u64) * (n as u64 - 1) / 2;
+        let mut idx: f64 = -1.0;
+        loop {
+            let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let skip = if p >= 1.0 {
+                1.0
+            } else {
+                (r.ln() / log_q).floor() + 1.0
+            };
+            idx += skip;
+            if idx >= total_pairs as f64 {
+                break;
+            }
+            let k = idx as u64;
+            // Map linear index k to pair (u, v), u < v.
+            let u = ((-0.5 + (0.25 + 2.0 * k as f64).sqrt()).floor()) as u64 + 1;
+            let base = u * (u - 1) / 2;
+            let v = k - base;
+            builder.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    builder.build()
+}
+
+/// R-MAT recursive-matrix graph (Chakrabarti et al., the generator the paper
+/// cites for its synthetic scalability graphs). `scale` gives `2^scale`
+/// nodes; `edge_factor` is the average degree. Probabilities `(a, b, c, d)`
+/// must sum to 1; the classic skewed setting is `(0.57, 0.19, 0.19, 0.05)`.
+pub fn rmat(scale: u32, edge_factor: usize, probs: (f64, f64, f64, f64), seed: u64) -> CsrGraph {
+    let (a, b, c, d) = probs;
+    assert!(
+        (a + b + c + d - 1.0).abs() < 1e-9,
+        "R-MAT probabilities must sum to 1"
+    );
+    let n = 1usize << scale;
+    let target_edges = n * edge_factor;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new_undirected();
+    builder.reserve_nodes(n);
+    for _ in 0..target_edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << level;
+            v |= dv << level;
+        }
+        builder.add_edge(u as NodeId, v as NodeId);
+    }
+    builder.build()
+}
+
+/// Planted-partition (stochastic block model) graph with multi-label ground
+/// truth: `communities` groups of roughly equal size, intra-community edge
+/// probability `p_in`, inter-community probability `p_out`. Each node gets its
+/// community label plus, with probability `extra_label_prob`, one additional
+/// random label — giving the multi-label setting of the paper's Flickr /
+/// YouTube classification tasks.
+pub fn planted_partition(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    extra_label_prob: f64,
+    seed: u64,
+) -> LabeledGraph {
+    assert!(communities >= 1 && communities <= u16::MAX as usize);
+    assert!(n >= communities, "need at least one node per community");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new_undirected();
+    builder.reserve_nodes(n);
+
+    // Communities are contiguous id blocks (nodes [k·n/c, (k+1)·n/c) belong to
+    // community k) so that trivial modulo hashing does not accidentally align
+    // with the ground truth.
+    let block = n.div_ceil(communities);
+    let community_of = move |u: usize| ((u / block).min(communities - 1)) as u16;
+
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if community_of(u) == community_of(v) {
+                p_in
+            } else {
+                p_out
+            };
+            if rng.gen::<f64>() < p {
+                builder.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+
+    let mut labels = Vec::with_capacity(n);
+    for u in 0..n {
+        let mut ls = vec![community_of(u)];
+        if rng.gen::<f64>() < extra_label_prob {
+            let extra = rng.gen_range(0..communities) as u16;
+            if !ls.contains(&extra) {
+                ls.push(extra);
+            }
+        }
+        ls.sort_unstable();
+        labels.push(ls);
+    }
+    LabeledGraph {
+        graph: builder.build(),
+        labels,
+        num_labels: communities,
+    }
+}
+
+/// Scaled-down stand-ins for the paper's real-world datasets (Table 2). Each
+/// preset preserves the rough node/edge ratio and degree skew of the original
+/// at laptop scale so the relative trends across datasets survive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PaperDataset {
+    /// Flickr: 80 K nodes / 5.9 M edges → dense, small.
+    Flickr,
+    /// YouTube: 1.1 M nodes / 3.0 M edges → sparse.
+    Youtube,
+    /// LiveJournal: 2.2 M nodes / 14.6 M edges.
+    LiveJournal,
+    /// Com-Orkut: 3.1 M nodes / 117 M edges → dense.
+    ComOrkut,
+    /// Twitter: 41.7 M nodes / 1.47 B edges → the billion-edge target.
+    Twitter,
+}
+
+impl PaperDataset {
+    /// All presets in the order the paper lists them.
+    pub const ALL: [PaperDataset; 5] = [
+        PaperDataset::Flickr,
+        PaperDataset::Youtube,
+        PaperDataset::LiveJournal,
+        PaperDataset::ComOrkut,
+        PaperDataset::Twitter,
+    ];
+
+    /// Short name used in the paper's figures.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            PaperDataset::Flickr => "FL",
+            PaperDataset::Youtube => "YT",
+            PaperDataset::LiveJournal => "LJ",
+            PaperDataset::ComOrkut => "OR",
+            PaperDataset::Twitter => "TW",
+        }
+    }
+
+    /// (nodes, average degree) of the scaled-down stand-in at `scale = 1.0`.
+    /// The average degrees mirror the originals (≈147, 5, 13, 76, 70); node
+    /// counts are shrunk by ~3 orders of magnitude.
+    fn standin_shape(self) -> (usize, usize) {
+        match self {
+            PaperDataset::Flickr => (1_000, 60),
+            PaperDataset::Youtube => (8_000, 5),
+            PaperDataset::LiveJournal => (16_000, 13),
+            PaperDataset::ComOrkut => (12_000, 40),
+            PaperDataset::Twitter => (40_000, 35),
+        }
+    }
+
+    /// Generates the stand-in graph. `scale` multiplies the node count
+    /// (use `1.0` for the default benchmark size, smaller for unit tests).
+    ///
+    /// The generator is [`community_powerlaw`] so that the stand-ins have the
+    /// degree skew, the community structure and the predictability (for link
+    /// prediction / classification) of the original social graphs.
+    pub fn generate(self, scale: f64, seed: u64) -> CsrGraph {
+        let (n, avg_deg) = self.standin_shape();
+        let n = ((n as f64 * scale).round() as usize).max(avg_deg + 2);
+        let communities = (n / 60).clamp(1, 512);
+        community_powerlaw(n, communities, (avg_deg / 2).max(1), 0.1, seed)
+    }
+}
+
+/// Converts an undirected graph into a directed one by keeping, for every
+/// undirected edge, a single direction chosen at random. Used by the §8.1
+/// directed-vs-undirected experiment (Table 7).
+pub fn randomly_orient(graph: &CsrGraph, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new_directed();
+    builder.reserve_nodes(graph.num_nodes());
+    for (u, v, w) in graph.edges() {
+        let (s, t) = if rng.gen::<bool>() { (u, v) } else { (v, u) };
+        if graph.is_weighted() {
+            builder.add_weighted_edge(s, t, w);
+        } else {
+            builder.add_edge(s, t);
+        }
+    }
+    builder.build()
+}
+
+/// Random permutation of all node ids — handy for random streaming orders and
+/// shuffled train/test splits.
+pub fn shuffled_nodes(n: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<NodeId> = (0..n as NodeId).collect();
+    nodes.shuffle(&mut rng);
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let g = barabasi_albert(500, 3, 7);
+        assert_eq!(g.num_nodes(), 500);
+        // Each of the ~497 non-seed nodes adds ~3 edges.
+        assert!(g.num_edges() >= 3 * 450 && g.num_edges() <= 3 * 500 + 10);
+        // Power-law-ish: the max degree should far exceed the average.
+        let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(g.max_degree() as f64 > 3.0 * avg);
+    }
+
+    #[test]
+    fn barabasi_albert_deterministic() {
+        let g1 = barabasi_albert(200, 2, 11);
+        let g2 = barabasi_albert(200, 2, 11);
+        assert_eq!(g1, g2);
+        let g3 = barabasi_albert(200, 2, 12);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn powerlaw_cluster_is_skewed_and_clustered() {
+        let n = 600;
+        let pc = powerlaw_cluster(n, 3, 0.7, 5);
+        let ba = barabasi_albert(n, 3, 5);
+        assert_eq!(pc.num_nodes(), n);
+        // Similar edge budget to BA.
+        assert!(pc.num_edges() >= 3 * 550 && pc.num_edges() <= 3 * 620);
+        // Skewed degrees.
+        let avg = 2.0 * pc.num_edges() as f64 / n as f64;
+        assert!(pc.max_degree() as f64 > 3.0 * avg);
+        // Much higher triangle density than plain BA: count closed triads via
+        // common neighbours over sampled edges.
+        let closure = |g: &CsrGraph| -> f64 {
+            let mut total = 0usize;
+            let mut edges = 0usize;
+            for (u, v, _) in g.edges().take(1500) {
+                total += g.common_neighbors(u, v);
+                edges += 1;
+            }
+            total as f64 / edges as f64
+        };
+        assert!(
+            closure(&pc) > 1.5 * closure(&ba),
+            "triad formation should add clustering: {} vs {}",
+            closure(&pc),
+            closure(&ba)
+        );
+    }
+
+    #[test]
+    fn community_powerlaw_has_strong_communities_and_skew() {
+        let n = 900;
+        let g = community_powerlaw(n, 15, 5, 0.1, 4);
+        assert_eq!(g.num_nodes(), n);
+        let block = n.div_ceil(15);
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v, _) in g.edges() {
+            if (u as usize) / block == (v as usize) / block {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(
+            intra > 5 * inter,
+            "most edges must stay inside a community ({intra} vs {inter})"
+        );
+        let avg = 2.0 * g.num_edges() as f64 / n as f64;
+        assert!(
+            g.max_degree() as f64 > 3.0 * avg,
+            "degrees should be skewed"
+        );
+    }
+
+    #[test]
+    fn community_powerlaw_deterministic() {
+        assert_eq!(
+            community_powerlaw(300, 5, 4, 0.2, 8),
+            community_powerlaw(300, 5, 4, 0.2, 8)
+        );
+    }
+
+    #[test]
+    fn powerlaw_cluster_deterministic() {
+        assert_eq!(
+            powerlaw_cluster(200, 2, 0.5, 3),
+            powerlaw_cluster(200, 2, 0.5, 3)
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_close_to_expectation() {
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, 3);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let actual = g.num_edges() as f64;
+        assert!(
+            (actual - expected).abs() < 0.25 * expected,
+            "expected ~{expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        assert_eq!(erdos_renyi(50, 0.0, 1).num_edges(), 0);
+        let full = erdos_renyi(20, 1.0, 1);
+        assert_eq!(full.num_edges(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(10, 8, (0.57, 0.19, 0.19, 0.05), 5);
+        assert_eq!(g.num_nodes(), 1024);
+        assert!(g.num_edges() > 1024 * 4); // duplicates removed, still dense enough
+        let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(g.max_degree() as f64 > 4.0 * avg, "R-MAT should be skewed");
+    }
+
+    #[test]
+    fn planted_partition_labels_cover_all_nodes() {
+        let lg = planted_partition(120, 4, 0.2, 0.005, 0.3, 9);
+        assert_eq!(lg.graph.num_nodes(), 120);
+        assert_eq!(lg.labels.len(), 120);
+        assert_eq!(lg.num_labels, 4);
+        assert!(lg.labels.iter().all(|ls| !ls.is_empty() && ls.len() <= 2));
+        // Communities should be denser inside than across.
+        let g = &lg.graph;
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v, _) in g.edges() {
+            if u / 30 == v / 30 {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter);
+    }
+
+    #[test]
+    fn paper_standins_generate() {
+        for ds in PaperDataset::ALL {
+            let g = ds.generate(0.05, 1);
+            assert!(g.num_nodes() > 10, "{} too small", ds.short_name());
+            assert!(g.num_edges() > g.num_nodes() / 2);
+        }
+    }
+
+    #[test]
+    fn randomly_orient_halves_arcs() {
+        let g = barabasi_albert(100, 2, 3);
+        let d = randomly_orient(&g, 4);
+        assert!(d.is_directed());
+        assert_eq!(d.num_edges(), d.num_arcs());
+        assert_eq!(d.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn shuffled_nodes_is_permutation() {
+        let mut s = shuffled_nodes(100, 5);
+        s.sort_unstable();
+        assert_eq!(s, (0..100u32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,131 @@
+//! Sorted-set intersection primitives.
+//!
+//! MPGP (§3.2) computes first- and second-order proximity scores that boil
+//! down to intersecting sorted adjacency lists. The paper uses the *Galloping*
+//! (exponential search) algorithm of Demaine, López-Ortiz and Munro, which is
+//! effective when the two sets differ greatly in size — exactly the situation
+//! during streaming partitioning, where one side is a node's adjacency list
+//! and the other is a growing partition.
+
+use crate::NodeId;
+
+/// Counts `|a ∩ b|` with a linear merge. `O(|a| + |b|)`.
+pub fn merge_intersect_count(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Counts `|a ∩ b|` with Galloping search: each element of the smaller set is
+/// located in the larger set by exponential probing followed by binary search.
+/// `O(min · log(max / min))` — asymptotically better than the merge when the
+/// sizes are very unbalanced.
+pub fn galloping_intersect_count(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() || large.is_empty() {
+        return 0;
+    }
+    // For nearly equal sizes the merge is faster in practice.
+    if large.len() < 4 * small.len() {
+        return merge_intersect_count(small, large);
+    }
+    let mut count = 0usize;
+    let mut lo = 0usize; // search window start in `large` (both inputs sorted)
+    for &x in small {
+        if lo >= large.len() {
+            break;
+        }
+        // Exponential probe: grow `bound` until `large[lo + bound] >= x` or
+        // the end of the slice is reached; the answer then lies in
+        // `large[lo..lo + bound + 1]`.
+        let mut bound = 1usize;
+        while lo + bound < large.len() && large[lo + bound] < x {
+            bound *= 2;
+        }
+        let end = (lo + bound + 1).min(large.len());
+        match large[lo..end].binary_search(&x) {
+            Ok(pos) => {
+                count += 1;
+                lo += pos + 1;
+            }
+            Err(pos) => {
+                lo += pos;
+            }
+        }
+    }
+    count
+}
+
+/// Materializes `a ∩ b` (sorted). Used where MPGP needs the actual common
+/// neighbour set rather than just its size.
+pub fn merge_intersect(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_galloping_agree_on_simple_sets() {
+        let a = [1, 3, 5, 7, 9];
+        let b = [2, 3, 4, 7, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21];
+        assert_eq!(merge_intersect_count(&a, &b), 2);
+        assert_eq!(galloping_intersect_count(&a, &b), 2);
+        assert_eq!(merge_intersect(&a, &b), vec![3, 7]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(galloping_intersect_count(&[], &[1, 2, 3]), 0);
+        assert_eq!(galloping_intersect_count(&[1, 2, 3], &[]), 0);
+        assert_eq!(merge_intersect_count(&[], &[]), 0);
+    }
+
+    #[test]
+    fn identical_sets() {
+        let a: Vec<NodeId> = (0..100).collect();
+        assert_eq!(galloping_intersect_count(&a, &a), 100);
+        assert_eq!(merge_intersect_count(&a, &a), 100);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let a: Vec<NodeId> = (0..50).collect();
+        let b: Vec<NodeId> = (100..200).collect();
+        assert_eq!(galloping_intersect_count(&a, &b), 0);
+    }
+
+    #[test]
+    fn highly_unbalanced_sets() {
+        let small = [10, 500, 999, 5000];
+        let large: Vec<NodeId> = (0..10_000).collect();
+        assert_eq!(galloping_intersect_count(&small, &large), 4);
+        let large_even: Vec<NodeId> = (0..10_000).map(|x| x * 2).collect();
+        // 10, 500, 5000 are even; 999 is odd.
+        assert_eq!(galloping_intersect_count(&small, &large_even), 3);
+    }
+}

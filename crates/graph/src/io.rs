@@ -1,0 +1,161 @@
+//! Plain-text edge-list I/O.
+//!
+//! Real datasets (SNAP-style `u v [w]` edge lists, `#`-prefixed comments) can
+//! be dropped into the pipeline through [`load_edge_list`]; the synthetic
+//! stand-ins can be exported with [`save_edge_list`] for inspection with
+//! external tools.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::NodeId;
+
+/// Errors produced while parsing an edge list.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed; carries the 1-based line number.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "I/O error: {e}"),
+            LoadError::Parse { line, content } => {
+                write!(f, "parse error on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Loads a whitespace-separated edge list (`u v` or `u v w` per line, `#`
+/// comments ignored) into a [`CsrGraph`].
+pub fn load_edge_list(path: impl AsRef<Path>, directed: bool) -> Result<CsrGraph, LoadError> {
+    let file = File::open(path)?;
+    parse_edge_list(BufReader::new(file), directed)
+}
+
+/// Parses an edge list from any reader (see [`load_edge_list`]).
+pub fn parse_edge_list(reader: impl BufRead, directed: bool) -> Result<CsrGraph, LoadError> {
+    let mut builder = if directed {
+        GraphBuilder::new_directed()
+    } else {
+        GraphBuilder::new_undirected()
+    };
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse_err = || LoadError::Parse {
+            line: idx + 1,
+            content: trimmed.to_string(),
+        };
+        let u: NodeId = it
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        let v: NodeId = it
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        match it.next() {
+            Some(w) => {
+                let w: f32 = w.parse().map_err(|_| parse_err())?;
+                builder.add_weighted_edge(u, v, w);
+            }
+            None => {
+                builder.add_edge(u, v);
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Writes the logical edges of `graph` as a whitespace-separated edge list.
+pub fn save_edge_list(graph: &CsrGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(
+        w,
+        "# nodes={} edges={} directed={}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.is_directed()
+    )?;
+    for (u, v, weight) in graph.edges() {
+        if graph.is_weighted() {
+            writeln!(w, "{u} {v} {weight}")?;
+        } else {
+            writeln!(w, "{u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_simple_edge_list() {
+        let input = "# a comment\n0 1\n1 2\n\n2 3\n";
+        let g = parse_edge_list(Cursor::new(input), false).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn parse_weighted_edge_list() {
+        let input = "0 1 2.5\n1 2 0.5\n";
+        let g = parse_edge_list(Cursor::new(input), true).unwrap();
+        assert!(g.is_weighted());
+        assert!(g.is_directed());
+        assert_eq!(g.edge_weight(0, 1), Some(2.5));
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let input = "0 1\nnot an edge\n";
+        let err = parse_edge_list(Cursor::new(input), false).unwrap_err();
+        match err {
+            LoadError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn save_and_reload_round_trip() {
+        let g = crate::generate::barabasi_albert(50, 2, 1);
+        let dir = std::env::temp_dir().join("distger_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.edges");
+        save_edge_list(&g, &path).unwrap();
+        let reloaded = load_edge_list(&path, false).unwrap();
+        assert_eq!(g.num_nodes(), reloaded.num_nodes());
+        assert_eq!(g.num_edges(), reloaded.num_edges());
+        for (u, v, _) in g.edges() {
+            assert!(reloaded.has_edge(u, v));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

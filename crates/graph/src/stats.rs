@@ -1,0 +1,152 @@
+//! Degree statistics and power-law diagnostics.
+//!
+//! HuGE's heuristic for the number of walks per node (§2.1, Eq. 6–7) compares
+//! the node-degree distribution with the corpus-occurrence distribution via
+//! relative entropy, so the degree distribution `p(v) = deg(v) / Σ deg` is a
+//! first-class object here.
+
+use crate::csr::CsrGraph;
+
+/// Summary statistics of a graph, as reported in the paper's Table 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of logical edges.
+    pub num_edges: usize,
+    /// Mean degree (arcs per node).
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of isolated (degree-0) nodes.
+    pub isolated_nodes: usize,
+    /// Maximum-likelihood estimate of the power-law exponent `α` for the tail
+    /// of the degree distribution (degrees ≥ `x_min = max(2, avg degree)`);
+    /// `None` when the graph has no node in that tail.
+    pub power_law_alpha: Option<f64>,
+}
+
+impl GraphStats {
+    /// Computes summary statistics for `graph`.
+    pub fn compute(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let mut max_degree = 0usize;
+        let mut isolated = 0usize;
+        let mut tail_log_sum = 0.0f64;
+        let mut tail_count = 0usize;
+        // Fit only the tail above the mean degree: the bulk of both skewed and
+        // non-skewed graphs looks similar, the tail is what distinguishes them.
+        let x_min = if n == 0 {
+            2.0
+        } else {
+            (graph.total_degree() as f64 / n as f64).max(2.0)
+        };
+        for u in 0..n {
+            let d = graph.degree(u as u32);
+            max_degree = max_degree.max(d);
+            if d == 0 {
+                isolated += 1;
+            }
+            if d as f64 >= x_min {
+                tail_log_sum += (d as f64 / (x_min - 0.5)).ln();
+                tail_count += 1;
+            }
+        }
+        let alpha = if tail_count > 0 && tail_log_sum > 0.0 {
+            Some(1.0 + tail_count as f64 / tail_log_sum)
+        } else {
+            None
+        };
+        Self {
+            num_nodes: n,
+            num_edges: graph.num_edges(),
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                graph.total_degree() as f64 / n as f64
+            },
+            max_degree,
+            isolated_nodes: isolated,
+            power_law_alpha: alpha,
+        }
+    }
+}
+
+/// Node-degree probability distribution `p(v) = deg(v) / Σ_u deg(u)`
+/// (Eq. 6's `p`). Returns an all-zero vector for an edgeless graph.
+pub fn degree_distribution(graph: &CsrGraph) -> Vec<f64> {
+    let total = graph.total_degree() as f64;
+    (0..graph.num_nodes())
+        .map(|u| {
+            if total == 0.0 {
+                0.0
+            } else {
+                graph.degree(u as u32) as f64 / total
+            }
+        })
+        .collect()
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for u in 0..graph.num_nodes() {
+        hist[graph.degree(u as u32)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{barabasi_albert, erdos_renyi};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.reserve_nodes(4);
+        let g = b.build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.num_edges, 2);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.isolated_nodes, 1);
+        assert!((s.avg_degree - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_distribution_sums_to_one() {
+        let g = barabasi_albert(300, 3, 1);
+        let dist = degree_distribution(&g);
+        let sum: f64 = dist.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(dist.len(), 300);
+    }
+
+    #[test]
+    fn degree_distribution_of_empty_graph_is_zero() {
+        let g = CsrGraph::empty(3, false);
+        assert_eq!(degree_distribution(&g), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn power_law_alpha_skewed_vs_uniform() {
+        let ba = barabasi_albert(2_000, 4, 2);
+        let er = erdos_renyi(2_000, 0.004, 2);
+        let a_ba = GraphStats::compute(&ba).power_law_alpha.unwrap();
+        let a_er = GraphStats::compute(&er).power_law_alpha.unwrap();
+        // BA graphs have heavier tails, hence a *smaller* fitted exponent.
+        assert!(a_ba < a_er, "expected BA alpha {a_ba} < ER alpha {a_er}");
+        assert!(a_ba > 1.0);
+    }
+
+    #[test]
+    fn histogram_counts_all_nodes() {
+        let g = barabasi_albert(100, 2, 3);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 100);
+    }
+}

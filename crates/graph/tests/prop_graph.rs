@@ -1,0 +1,94 @@
+//! Property-based tests for the graph substrate.
+
+use distger_graph::intersect::{galloping_intersect_count, merge_intersect, merge_intersect_count};
+use distger_graph::{CsrGraph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+fn arb_edges(max_node: NodeId, max_edges: usize) -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
+    prop::collection::vec((0..max_node, 0..max_node), 0..max_edges)
+}
+
+fn build_undirected(edges: &[(NodeId, NodeId)]) -> CsrGraph {
+    let mut b = GraphBuilder::new_undirected();
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+proptest! {
+    /// The CSR invariants hold for arbitrary edge lists: sorted adjacency,
+    /// symmetric arcs, consistent degree sums.
+    #[test]
+    fn csr_invariants_hold(edges in arb_edges(60, 200)) {
+        let g = build_undirected(&edges);
+        let mut arc_count = 0usize;
+        for u in 0..g.num_nodes() as NodeId {
+            let adj = g.neighbors(u);
+            arc_count += adj.len();
+            prop_assert!(adj.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+            for &v in adj {
+                prop_assert!(g.has_edge(v, u), "undirected arcs must be symmetric");
+                prop_assert_ne!(u, v, "no self loops");
+            }
+        }
+        prop_assert_eq!(arc_count, g.num_arcs());
+        prop_assert_eq!(arc_count, 2 * g.num_edges());
+    }
+
+    /// Galloping intersection agrees with the straightforward merge on
+    /// arbitrary sorted deduplicated inputs.
+    #[test]
+    fn galloping_matches_merge(
+        mut a in prop::collection::vec(0u32..500, 0..120),
+        mut b in prop::collection::vec(0u32..500, 0..120),
+    ) {
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        let expected = merge_intersect_count(&a, &b);
+        prop_assert_eq!(galloping_intersect_count(&a, &b), expected);
+        prop_assert_eq!(galloping_intersect_count(&b, &a), expected);
+        prop_assert_eq!(merge_intersect(&a, &b).len(), expected);
+    }
+
+    /// Common-neighbour counts are symmetric and bounded by the smaller degree.
+    #[test]
+    fn common_neighbors_symmetric(edges in arb_edges(40, 150), x in 0u32..40, y in 0u32..40) {
+        let g = build_undirected(&edges);
+        if (x as usize) < g.num_nodes() && (y as usize) < g.num_nodes() {
+            let c1 = g.common_neighbors(x, y);
+            let c2 = g.common_neighbors(y, x);
+            prop_assert_eq!(c1, c2);
+            prop_assert!(c1 <= g.degree(x).min(g.degree(y)));
+        }
+    }
+
+    /// Edge-list save/parse round trip preserves the edge set.
+    #[test]
+    fn edges_iterator_consistent_with_has_edge(edges in arb_edges(50, 100)) {
+        let g = build_undirected(&edges);
+        let mut logical = 0usize;
+        for (u, v, w) in g.edges() {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.has_edge(v, u));
+            prop_assert_eq!(w, 1.0);
+            logical += 1;
+        }
+        prop_assert_eq!(logical, g.num_edges());
+    }
+
+    /// Random weighting preserves structure and stays within the range.
+    #[test]
+    fn weighting_preserves_structure(edges in arb_edges(30, 80), seed in 0u64..1000) {
+        let g = build_undirected(&edges);
+        let w = g.with_random_weights(1.0, 5.0, seed);
+        prop_assert_eq!(g.num_nodes(), w.num_nodes());
+        prop_assert_eq!(g.num_edges(), w.num_edges());
+        for (u, v, wt) in w.edges() {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!((1.0..5.0).contains(&wt));
+        }
+    }
+}

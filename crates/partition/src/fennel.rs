@@ -1,0 +1,124 @@
+//! FENNEL streaming partitioner.
+//!
+//! Tsourakakis et al.'s FENNEL replaces LDG's hard capacities with a soft
+//! cost: a streamed node goes to the partition maximizing
+//! `|N(v) ∩ P_i| − α·γ·|P_i|^(γ−1)`, with the load exponent `γ = 1.5` and
+//! `α = √m · |E| / |V|^1.5` as recommended in the original paper. Like LDG it
+//! is one of the streaming baselines MPGP is compared against (§3.2).
+
+use crate::{order::stream_order, MachineId, Partitioning, StreamingOrder};
+use distger_graph::CsrGraph;
+
+/// Configuration for [`fennel_partition`].
+#[derive(Clone, Copy, Debug)]
+pub struct FennelConfig {
+    /// Load-cost exponent (`γ` in the FENNEL paper; 1.5 by default).
+    pub gamma: f64,
+    /// Balance slack: a partition may not exceed `slack · n / m` nodes.
+    pub slack: f64,
+    /// Node streaming order.
+    pub order: StreamingOrder,
+}
+
+impl Default for FennelConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 1.5,
+            slack: 1.1,
+            order: StreamingOrder::Random,
+        }
+    }
+}
+
+/// Runs FENNEL over the configured streaming order.
+pub fn fennel_partition(
+    graph: &CsrGraph,
+    num_machines: usize,
+    config: FennelConfig,
+    seed: u64,
+) -> Partitioning {
+    assert!(num_machines > 0);
+    let n = graph.num_nodes();
+    let e = graph.num_edges();
+    let gamma = config.gamma;
+    let alpha = if n == 0 {
+        0.0
+    } else {
+        (num_machines as f64).sqrt() * e as f64 / (n as f64).powf(1.5)
+    };
+    let capacity = ((n as f64 / num_machines as f64) * config.slack)
+        .ceil()
+        .max(1.0);
+
+    let mut assignment: Vec<MachineId> = vec![0; n];
+    let mut assigned = vec![false; n];
+    let mut sizes = vec![0usize; num_machines];
+    let mut neighbor_counts = vec![0usize; num_machines];
+
+    for v in stream_order(graph, config.order, seed) {
+        neighbor_counts.iter_mut().for_each(|c| *c = 0);
+        for &u in graph.neighbors(v) {
+            if assigned[u as usize] {
+                neighbor_counts[assignment[u as usize]] += 1;
+            }
+        }
+        let mut best_m = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for m in 0..num_machines {
+            if sizes[m] as f64 >= capacity {
+                continue;
+            }
+            let load_cost = alpha * gamma * (sizes[m] as f64).powf(gamma - 1.0);
+            let score = neighbor_counts[m] as f64 - load_cost;
+            if score > best_score || (score == best_score && sizes[m] < sizes[best_m]) {
+                best_score = score;
+                best_m = m;
+            }
+        }
+        if best_score == f64::NEG_INFINITY {
+            best_m = (0..num_machines).min_by_key(|&m| sizes[m]).unwrap();
+        }
+        assignment[v as usize] = best_m;
+        assigned[v as usize] = true;
+        sizes[best_m] += 1;
+    }
+    Partitioning::new(assignment, num_machines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distger_graph::{barabasi_albert, planted_partition};
+
+    #[test]
+    fn fennel_is_reasonably_balanced() {
+        let g = barabasi_albert(400, 3, 9);
+        let p = fennel_partition(&g, 4, FennelConfig::default(), 1);
+        assert!(p.balance_factor() <= 1.15);
+        assert_eq!(p.node_counts().iter().sum::<usize>(), 400);
+    }
+
+    #[test]
+    fn fennel_exploits_communities() {
+        let lg = planted_partition(200, 4, 0.25, 0.01, 0.0, 5);
+        let g = &lg.graph;
+        let fennel = fennel_partition(
+            g,
+            4,
+            FennelConfig {
+                order: StreamingOrder::Bfs,
+                ..FennelConfig::default()
+            },
+            1,
+        );
+        let hash = crate::hash::hash_partition(g, 4);
+        assert!(fennel.local_edge_fraction(g) > hash.local_edge_fraction(g));
+    }
+
+    #[test]
+    fn fennel_single_machine() {
+        let g = barabasi_albert(60, 2, 1);
+        let p = fennel_partition(&g, 1, FennelConfig::default(), 3);
+        assert_eq!(p.edge_cut(&g), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Trivial modulo partitioner — the quality floor.
+
+use crate::Partitioning;
+use distger_graph::CsrGraph;
+
+/// Assigns node `u` to machine `u % num_machines`. No locality, perfect node
+/// balance; used as a sanity baseline in tests and ablations.
+pub fn hash_partition(graph: &CsrGraph, num_machines: usize) -> Partitioning {
+    assert!(num_machines > 0);
+    let assignment = (0..graph.num_nodes()).map(|u| u % num_machines).collect();
+    Partitioning::new(assignment, num_machines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distger_graph::barabasi_albert;
+
+    #[test]
+    fn hash_partition_is_balanced() {
+        let g = barabasi_albert(100, 2, 1);
+        let p = hash_partition(&g, 4);
+        assert_eq!(p.node_counts(), vec![25, 25, 25, 25]);
+        assert!(p.balance_factor() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn single_machine_hash_has_no_cut() {
+        let g = barabasi_albert(100, 2, 1);
+        let p = hash_partition(&g, 1);
+        assert_eq!(p.edge_cut(&g), 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Node streaming orders for streaming partitioners.
+//!
+//! §3.2 of the paper observes that the order in which nodes arrive strongly
+//! affects both partitioning time and quality, and compares random, BFS, DFS
+//! and degree-aware hybrids (Figure 11). The recommended orders are
+//! DFS+degree for sequential MPGP and BFS+degree for parallel MPGP.
+
+use distger_graph::{generate::shuffled_nodes, CsrGraph, NodeId};
+use std::collections::VecDeque;
+
+/// The order in which nodes are streamed into a partitioner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StreamingOrder {
+    /// Ascending node id (the order the file was loaded in).
+    Natural,
+    /// Uniformly random permutation.
+    Random,
+    /// Breadth-first traversal from the highest-degree node, visiting
+    /// neighbours in adjacency order.
+    Bfs,
+    /// Depth-first traversal from the highest-degree node, visiting
+    /// neighbours in adjacency order.
+    Dfs,
+    /// BFS, but the unexplored neighbours of a node are visited in descending
+    /// degree order ("BFS+degree" in the paper).
+    BfsDegree,
+    /// DFS, but among unexplored neighbours the highest-degree one is explored
+    /// first ("DFS+degree", recommended for sequential MPGP).
+    DfsDegree,
+}
+
+impl StreamingOrder {
+    /// All orders, in the order Figure 11 plots them.
+    pub const ALL: [StreamingOrder; 6] = [
+        StreamingOrder::Bfs,
+        StreamingOrder::Dfs,
+        StreamingOrder::BfsDegree,
+        StreamingOrder::DfsDegree,
+        StreamingOrder::Random,
+        StreamingOrder::Natural,
+    ];
+
+    /// Human-readable name matching the paper's figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamingOrder::Natural => "Natural",
+            StreamingOrder::Random => "Random",
+            StreamingOrder::Bfs => "BFS",
+            StreamingOrder::Dfs => "DFS",
+            StreamingOrder::BfsDegree => "BFS+degree",
+            StreamingOrder::DfsDegree => "DFS+degree",
+        }
+    }
+}
+
+/// Produces the full node sequence for `order`. Traversal-based orders cover
+/// disconnected components by restarting from the highest-degree unvisited
+/// node, so every node appears exactly once.
+pub fn stream_order(graph: &CsrGraph, order: StreamingOrder, seed: u64) -> Vec<NodeId> {
+    let n = graph.num_nodes();
+    match order {
+        StreamingOrder::Natural => (0..n as NodeId).collect(),
+        StreamingOrder::Random => shuffled_nodes(n, seed),
+        StreamingOrder::Bfs => traversal(graph, false, false),
+        StreamingOrder::Dfs => traversal(graph, true, false),
+        StreamingOrder::BfsDegree => traversal(graph, false, true),
+        StreamingOrder::DfsDegree => traversal(graph, true, true),
+    }
+}
+
+/// BFS/DFS traversal covering all components. `by_degree` makes the traversal
+/// prefer high-degree neighbours first.
+fn traversal(graph: &CsrGraph, depth_first: bool, by_degree: bool) -> Vec<NodeId> {
+    let n = graph.num_nodes();
+    let mut visited = vec![false; n];
+    let mut out = Vec::with_capacity(n);
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut scratch: Vec<NodeId> = Vec::new();
+
+    // Roots: restart from the highest-degree unvisited node so that the big
+    // component is streamed first, as the paper's implementation does.
+    let roots = graph.nodes_by_degree_desc();
+
+    for &root in &roots {
+        if visited[root as usize] {
+            continue;
+        }
+        visited[root as usize] = true;
+        if depth_first {
+            stack.push(root);
+        } else {
+            queue.push_back(root);
+        }
+        loop {
+            let u = if depth_first {
+                match stack.pop() {
+                    Some(u) => u,
+                    None => break,
+                }
+            } else {
+                match queue.pop_front() {
+                    Some(u) => u,
+                    None => break,
+                }
+            };
+            out.push(u);
+            scratch.clear();
+            scratch.extend(
+                graph
+                    .neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| !visited[v as usize]),
+            );
+            if by_degree {
+                // Highest degree first for BFS; for DFS we push lowest first so
+                // the highest-degree neighbour is popped (explored) first.
+                scratch.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+            }
+            if depth_first {
+                for &v in scratch.iter().rev() {
+                    if !visited[v as usize] {
+                        visited[v as usize] = true;
+                        stack.push(v);
+                    }
+                }
+            } else {
+                for &v in scratch.iter() {
+                    if !visited[v as usize] {
+                        visited[v as usize] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distger_graph::{barabasi_albert, GraphBuilder};
+
+    fn is_permutation(order: &[NodeId], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for &u in order {
+            if seen[u as usize] {
+                return false;
+            }
+            seen[u as usize] = true;
+        }
+        order.len() == n
+    }
+
+    #[test]
+    fn all_orders_are_permutations() {
+        let g = barabasi_albert(200, 3, 7);
+        for order in StreamingOrder::ALL {
+            let seq = stream_order(&g, order, 42);
+            assert!(
+                is_permutation(&seq, 200),
+                "{} not a permutation",
+                order.name()
+            );
+        }
+    }
+
+    #[test]
+    fn natural_order_is_ascending() {
+        let g = barabasi_albert(50, 2, 1);
+        assert_eq!(
+            stream_order(&g, StreamingOrder::Natural, 0),
+            (0..50u32).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn traversals_cover_disconnected_components() {
+        // Two disjoint triangles.
+        let mut b = GraphBuilder::new_undirected();
+        b.extend_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let g = b.build();
+        for order in [
+            StreamingOrder::Bfs,
+            StreamingOrder::Dfs,
+            StreamingOrder::DfsDegree,
+        ] {
+            let seq = stream_order(&g, order, 0);
+            assert!(is_permutation(&seq, 6));
+        }
+    }
+
+    #[test]
+    fn bfs_starts_from_highest_degree_node() {
+        // Star centred at 0 → 0 has the highest degree and must stream first.
+        let mut b = GraphBuilder::new_undirected();
+        b.extend_edges([(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let g = b.build();
+        let seq = stream_order(&g, StreamingOrder::Bfs, 0);
+        assert_eq!(seq[0], 0);
+    }
+
+    #[test]
+    fn degree_orders_prefer_heavy_neighbours() {
+        // 0 connected to 1 (deg 1) and 2; 2 connected to 3 and 4 → deg(2)=3.
+        let mut b = GraphBuilder::new_undirected();
+        b.extend_edges([(0, 1), (0, 2), (2, 3), (2, 4)]);
+        let g = b.build();
+        let seq = stream_order(&g, StreamingOrder::BfsDegree, 0);
+        // Highest degree node is 2 (degree 3): it is the root.
+        assert_eq!(seq[0], 2);
+        // Its neighbours in degree order: 0 (deg 2), then 3, 4 (deg 1).
+        assert_eq!(seq[1], 0);
+    }
+
+    #[test]
+    fn random_order_depends_on_seed() {
+        let g = barabasi_albert(100, 2, 3);
+        let a = stream_order(&g, StreamingOrder::Random, 1);
+        let b = stream_order(&g, StreamingOrder::Random, 2);
+        assert_ne!(a, b);
+        assert_eq!(a, stream_order(&g, StreamingOrder::Random, 1));
+    }
+}

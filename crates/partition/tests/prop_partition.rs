@@ -1,0 +1,139 @@
+//! Property-based tests for the partitioners: every partitioner must produce
+//! a total assignment with valid machine ids, and the metric helpers must be
+//! internally consistent.
+
+use distger_graph::{barabasi_albert, GraphBuilder, NodeId};
+use distger_partition::fennel::{fennel_partition, FennelConfig};
+use distger_partition::hash::hash_partition;
+use distger_partition::ldg::ldg_default;
+use distger_partition::{
+    balanced::workload_balanced_partition, mpgp_partition, parallel_mpgp_partition, MpgpConfig,
+    Partitioning, StreamingOrder,
+};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = distger_graph::CsrGraph> {
+    (prop::collection::vec((0u32..40, 0u32..40), 1..150)).prop_map(|edges| {
+        let mut b = GraphBuilder::new_undirected();
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.reserve_nodes(40);
+        b.build()
+    })
+}
+
+fn check_total_assignment(p: &Partitioning, n: usize, m: usize) -> Result<(), TestCaseError> {
+    prop_assert_eq!(p.num_nodes(), n);
+    prop_assert_eq!(p.num_machines(), m);
+    prop_assert_eq!(p.node_counts().iter().sum::<usize>(), n);
+    prop_assert!(p.assignment().iter().all(|&x| x < m));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_partitioners_produce_total_assignments(
+        g in arb_graph(),
+        machines in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let n = g.num_nodes();
+        check_total_assignment(&hash_partition(&g, machines), n, machines)?;
+        check_total_assignment(&workload_balanced_partition(&g, machines), n, machines)?;
+        check_total_assignment(&ldg_default(&g, machines, seed), n, machines)?;
+        check_total_assignment(
+            &fennel_partition(&g, machines, FennelConfig::default(), seed),
+            n,
+            machines,
+        )?;
+        check_total_assignment(
+            &mpgp_partition(&g, machines, MpgpConfig { seed, ..MpgpConfig::default() }),
+            n,
+            machines,
+        )?;
+        check_total_assignment(
+            &parallel_mpgp_partition(&g, machines, 3, MpgpConfig { seed, ..MpgpConfig::parallel_default() }),
+            n,
+            machines,
+        )?;
+    }
+
+    #[test]
+    fn edge_cut_plus_local_edges_equals_total(g in arb_graph(), machines in 1usize..5) {
+        let p = mpgp_partition(&g, machines, MpgpConfig::default());
+        let cut = p.edge_cut(&g);
+        let local = (p.local_edge_fraction(&g) * g.num_edges() as f64).round() as usize;
+        prop_assert_eq!(cut + local, g.num_edges());
+        prop_assert!(p.local_edge_fraction(&g) >= 0.0 && p.local_edge_fraction(&g) <= 1.0);
+    }
+
+    #[test]
+    fn single_machine_never_cuts(g in arb_graph()) {
+        for p in [
+            hash_partition(&g, 1),
+            workload_balanced_partition(&g, 1),
+            mpgp_partition(&g, 1, MpgpConfig::default()),
+        ] {
+            prop_assert_eq!(p.edge_cut(&g), 0);
+            prop_assert_eq!(p.balance_factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn mpgp_deterministic_given_seed(seed in 0u64..50) {
+        let g = barabasi_albert(120, 2, 9);
+        let cfg = MpgpConfig { seed, order: StreamingOrder::Random, ..MpgpConfig::default() };
+        let p1 = mpgp_partition(&g, 4, cfg);
+        let p2 = mpgp_partition(&g, 4, cfg);
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn streaming_orders_are_permutations_for_all_graphs(g in arb_graph(), seed in 0u64..20) {
+        for order in StreamingOrder::ALL {
+            let seq = distger_partition::order::stream_order(&g, order, seed);
+            let mut seen = vec![false; g.num_nodes()];
+            for &u in &seq {
+                prop_assert!(!seen[u as usize], "{} visited twice under {:?}", u, order);
+                seen[u as usize] = true;
+            }
+            prop_assert_eq!(seq.len(), g.num_nodes());
+        }
+    }
+}
+
+#[test]
+fn mpgp_gamma_one_is_most_balanced_on_average() {
+    // Deterministic ablation mirroring Figure 13: strict γ keeps partitions
+    // close to equal.
+    let g = barabasi_albert(600, 3, 21);
+    let strict = mpgp_partition(
+        &g,
+        8,
+        MpgpConfig {
+            gamma: 1.0,
+            ..MpgpConfig::default()
+        },
+    );
+    let loose = mpgp_partition(
+        &g,
+        8,
+        MpgpConfig {
+            gamma: 8.0,
+            ..MpgpConfig::default()
+        },
+    );
+    assert!(strict.balance_factor() <= loose.balance_factor() + 0.05);
+}
+
+#[test]
+fn degree_based_nodes_sorted_desc() {
+    let g = barabasi_albert(100, 2, 5);
+    let order: Vec<NodeId> = g.nodes_by_degree_desc();
+    for w in order.windows(2) {
+        assert!(g.degree(w[0]) >= g.degree(w[1]));
+    }
+}

@@ -1,0 +1,198 @@
+//! The sampled walk corpus.
+//!
+//! A corpus is the set of random walks produced by the sampler; it plays the
+//! role of the "sentences" fed to the Skip-Gram learner (§2.1). The learner
+//! also needs per-node occurrence counts (for the frequency-ordered global
+//! matrices and the hotness blocks of DSGL) and the occurrence probability
+//! distribution `q(v)` used by the walks-per-node convergence test (Eq. 6).
+
+use distger_graph::NodeId;
+
+/// A collection of random walks over a graph with `num_nodes` nodes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Corpus {
+    walks: Vec<Vec<NodeId>>,
+    num_nodes: usize,
+}
+
+impl Corpus {
+    /// Creates an empty corpus for a graph with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            walks: Vec::new(),
+            num_nodes,
+        }
+    }
+
+    /// Creates a corpus directly from walks.
+    ///
+    /// # Panics
+    /// Panics if any walk mentions a node id `>= num_nodes`.
+    pub fn from_walks(walks: Vec<Vec<NodeId>>, num_nodes: usize) -> Self {
+        assert!(
+            walks
+                .iter()
+                .flat_map(|w| w.iter())
+                .all(|&v| (v as usize) < num_nodes),
+            "walk mentions a node outside the graph"
+        );
+        Self { walks, num_nodes }
+    }
+
+    /// Appends a walk. Empty walks are ignored.
+    pub fn push_walk(&mut self, walk: Vec<NodeId>) {
+        if !walk.is_empty() {
+            debug_assert!(walk.iter().all(|&v| (v as usize) < self.num_nodes));
+            self.walks.push(walk);
+        }
+    }
+
+    /// Appends all walks from another corpus over the same graph.
+    pub fn extend(&mut self, other: Corpus) {
+        assert_eq!(self.num_nodes, other.num_nodes);
+        self.walks.extend(other.walks);
+    }
+
+    /// The walks.
+    pub fn walks(&self) -> &[Vec<NodeId>] {
+        &self.walks
+    }
+
+    /// Number of walks.
+    pub fn num_walks(&self) -> usize {
+        self.walks.len()
+    }
+
+    /// Number of nodes in the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total number of tokens (node occurrences) over all walks — the corpus
+    /// size `C` of the complexity analyses.
+    pub fn total_tokens(&self) -> usize {
+        self.walks.iter().map(|w| w.len()).sum()
+    }
+
+    /// Mean walk length (0 for an empty corpus).
+    pub fn avg_walk_length(&self) -> f64 {
+        if self.walks.is_empty() {
+            0.0
+        } else {
+            self.total_tokens() as f64 / self.walks.len() as f64
+        }
+    }
+
+    /// Per-node occurrence counts `ocn(v)`.
+    pub fn node_frequencies(&self) -> Vec<u64> {
+        let mut freq = vec![0u64; self.num_nodes];
+        for walk in &self.walks {
+            for &v in walk {
+                freq[v as usize] += 1;
+            }
+        }
+        freq
+    }
+
+    /// Occurrence probability distribution `q(v) = ocn(v) / Σ ocn` (Eq. 6).
+    pub fn occurrence_distribution(&self) -> Vec<f64> {
+        let freq = self.node_frequencies();
+        let total: u64 = freq.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.num_nodes];
+        }
+        freq.iter().map(|&f| f as f64 / total as f64).collect()
+    }
+
+    /// Estimated resident memory of the corpus in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.walks
+            .iter()
+            .map(|w| w.len() * std::mem::size_of::<NodeId>() + std::mem::size_of::<Vec<NodeId>>())
+            .sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Splits the corpus into `parts` shards of (nearly) equal token counts,
+    /// used to distribute training across machines (§4.2-III).
+    pub fn split(&self, parts: usize) -> Vec<Corpus> {
+        assert!(parts > 0);
+        let mut shards: Vec<Corpus> = (0..parts).map(|_| Corpus::new(self.num_nodes)).collect();
+        let mut loads = vec![0usize; parts];
+        for walk in &self.walks {
+            // Greedy least-loaded assignment keeps token counts balanced.
+            let target = (0..parts).min_by_key(|&i| loads[i]).unwrap();
+            loads[target] += walk.len();
+            shards[target].walks.push(walk.clone());
+        }
+        shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_corpus() -> Corpus {
+        Corpus::from_walks(vec![vec![0, 1, 2, 1], vec![2, 3], vec![3, 3, 3]], 4)
+    }
+
+    #[test]
+    fn counts_and_lengths() {
+        let c = sample_corpus();
+        assert_eq!(c.num_walks(), 3);
+        assert_eq!(c.total_tokens(), 9);
+        assert!((c.avg_walk_length() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequencies_and_distribution() {
+        let c = sample_corpus();
+        assert_eq!(c.node_frequencies(), vec![1, 2, 2, 4]);
+        let q = c.occurrence_distribution();
+        assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((q[3] - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corpus_edge_cases() {
+        let c = Corpus::new(3);
+        assert_eq!(c.avg_walk_length(), 0.0);
+        assert_eq!(c.occurrence_distribution(), vec![0.0; 3]);
+        assert_eq!(c.total_tokens(), 0);
+    }
+
+    #[test]
+    fn push_ignores_empty_walks() {
+        let mut c = Corpus::new(2);
+        c.push_walk(vec![]);
+        c.push_walk(vec![0, 1]);
+        assert_eq!(c.num_walks(), 1);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = sample_corpus();
+        let b = Corpus::from_walks(vec![vec![0, 0]], 4);
+        a.extend(b);
+        assert_eq!(a.num_walks(), 4);
+        assert_eq!(a.node_frequencies()[0], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the graph")]
+    fn from_walks_validates_node_ids() {
+        Corpus::from_walks(vec![vec![5]], 3);
+    }
+
+    #[test]
+    fn split_balances_tokens() {
+        let c = Corpus::from_walks(vec![vec![0; 10], vec![1; 10], vec![2; 2], vec![3; 2]], 4);
+        let shards = c.split(2);
+        assert_eq!(shards.len(), 2);
+        let t0 = shards[0].total_tokens();
+        let t1 = shards[1].total_tokens();
+        assert_eq!(t0 + t1, 24);
+        assert!((t0 as i64 - t1 as i64).abs() <= 2);
+    }
+}

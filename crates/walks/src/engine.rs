@@ -1,0 +1,524 @@
+//! The distributed random-walk engine (the *sampler* of Figure 1).
+//!
+//! Walkers are coordinated with the BSP model exactly as in KnightKing
+//! (§2.2): every machine owns the nodes assigned to it by the partitioner;
+//! a walker keeps stepping locally for as long as the next accepted node
+//! lives on the same machine and becomes a cross-machine message the moment
+//! it does not. Message sizes and the per-step measurement cost depend on the
+//! configured [`InfoMode`]:
+//!
+//! * [`InfoMode::FullPath`] — the HuGE-D baseline: `O(L)` entropy
+//!   recomputation per step, `24 + 8·L`-byte messages;
+//! * [`InfoMode::Incremental`] — InCoM: `O(1)` updates, 80-byte messages,
+//!   machine-local frequency lists.
+//!
+//! Routine (fixed `L`, fixed `r`) configurations skip the measurement
+//! entirely and exchange 32-byte messages, reproducing KnightKing.
+
+use std::collections::HashMap;
+
+use distger_cluster::{run_bsp, CommStats, Outbox};
+use distger_graph::{stats::degree_distribution, CsrGraph, NodeId};
+use distger_partition::Partitioning;
+
+use crate::corpus::Corpus;
+use crate::info::{relative_entropy, FullPathInfo, IncrementalInfo, WalkCountController};
+use crate::message::{InfoPayload, WalkerMessage};
+use crate::models::{propose_next, LengthPolicy, WalkCountPolicy, WalkModel};
+use crate::rng::SplitMix64;
+
+/// How the on-the-fly information measurement is computed and shipped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InfoMode {
+    /// HuGE-D: full-path recomputation, path carried in every message.
+    FullPath,
+    /// InCoM: incremental `O(1)` updates, constant-size messages (§3.1).
+    Incremental,
+}
+
+/// Configuration of a distributed walk run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WalkEngineConfig {
+    /// Transition model.
+    pub model: WalkModel,
+    /// Per-walk termination policy.
+    pub length: LengthPolicy,
+    /// Walks-per-node policy.
+    pub walks_per_node: WalkCountPolicy,
+    /// Measurement mode (only relevant when `length` is information-driven).
+    pub info_mode: InfoMode,
+    /// Seed for all stochastic choices.
+    pub seed: u64,
+    /// Safety cap on BSP supersteps per round.
+    pub max_supersteps: u64,
+}
+
+impl WalkEngineConfig {
+    /// KnightKing's routine configuration: fixed `L = 80`, `r = 10`, no
+    /// information measurement, 32-byte messages.
+    pub fn knightking_routine(model: WalkModel) -> Self {
+        Self {
+            model,
+            length: LengthPolicy::routine(),
+            walks_per_node: WalkCountPolicy::routine(),
+            info_mode: InfoMode::Incremental,
+            seed: 0,
+            max_supersteps: 1_000_000,
+        }
+    }
+
+    /// The HuGE-D baseline (§2.3): information-oriented walks with the
+    /// full-path computation mechanism.
+    pub fn huge_d() -> Self {
+        Self {
+            model: WalkModel::Huge,
+            length: LengthPolicy::info_driven_default(),
+            walks_per_node: WalkCountPolicy::info_driven_default(),
+            info_mode: InfoMode::FullPath,
+            seed: 0,
+            max_supersteps: 1_000_000,
+        }
+    }
+
+    /// DistGER's sampler: information-oriented walks with InCoM.
+    pub fn distger() -> Self {
+        Self {
+            info_mode: InfoMode::Incremental,
+            ..Self::huge_d()
+        }
+    }
+
+    /// DistGER's general API (§6.6): any transition model (DeepWalk, node2vec,
+    /// HuGE+ …) driven by the information-centric termination heuristics.
+    pub fn distger_general(model: WalkModel) -> Self {
+        Self {
+            model,
+            ..Self::distger()
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn needs_info(&self) -> bool {
+        self.length.needs_info()
+    }
+}
+
+/// Result of a distributed walk run.
+#[derive(Clone, Debug)]
+pub struct WalkResult {
+    /// The sampled corpus (all walks of all rounds).
+    pub corpus: Corpus,
+    /// Aggregated communication statistics over all rounds.
+    pub comm: CommStats,
+    /// Number of walk rounds executed (walks per node).
+    pub rounds: usize,
+    /// Relative entropy `D_r(p‖q)` after each round (Eq. 6), cumulative corpus.
+    pub relative_entropy_trace: Vec<f64>,
+    /// Estimated per-machine sampling-phase memory in bytes (walker state,
+    /// frequency lists, corpus shards), averaged over machines.
+    pub avg_machine_memory_bytes: usize,
+}
+
+impl WalkResult {
+    /// Average walk length over the whole corpus.
+    pub fn avg_walk_length(&self) -> f64 {
+        self.corpus.avg_walk_length()
+    }
+}
+
+/// Per-machine mutable state during a round.
+struct MachineState {
+    /// `(walk_id, step, node)` triples recorded where the node was accepted.
+    segments: Vec<(u64, u32, NodeId)>,
+    /// InCoM local frequency lists: per ongoing walk, the occurrence counts of
+    /// nodes local to this machine.
+    local_freq: HashMap<u64, HashMap<NodeId, u32>>,
+    /// Peak memory estimate for this machine during the round.
+    peak_memory_bytes: usize,
+}
+
+impl MachineState {
+    fn new() -> Self {
+        Self {
+            segments: Vec::new(),
+            local_freq: HashMap::new(),
+            peak_memory_bytes: 0,
+        }
+    }
+
+    fn update_memory_estimate(&mut self) {
+        let freq_bytes: usize = self
+            .local_freq
+            .values()
+            .map(|m| m.len() * (std::mem::size_of::<NodeId>() + 4) + 48)
+            .sum();
+        let seg_bytes = self.segments.len() * std::mem::size_of::<(u64, u32, NodeId)>();
+        self.peak_memory_bytes = self.peak_memory_bytes.max(freq_bytes + seg_bytes);
+    }
+}
+
+/// Runs distributed random walks over `graph` partitioned by `partitioning`.
+///
+/// # Panics
+/// Panics if the partitioning does not cover the graph.
+pub fn run_distributed_walks(
+    graph: &CsrGraph,
+    partitioning: &Partitioning,
+    config: &WalkEngineConfig,
+) -> WalkResult {
+    assert_eq!(
+        partitioning.num_nodes(),
+        graph.num_nodes(),
+        "partitioning must cover every node"
+    );
+    let n = graph.num_nodes();
+    let num_machines = partitioning.num_machines();
+    let mut corpus = Corpus::new(n);
+    let mut comm = CommStats::new();
+    let mut trace = Vec::new();
+    let mut peak_memory_sum = 0usize;
+
+    let degree_dist = degree_distribution(graph);
+
+    // Decide the round schedule.
+    let (fixed_rounds, mut controller) = match config.walks_per_node {
+        WalkCountPolicy::Fixed(r) => (Some(r.max(1)), None),
+        WalkCountPolicy::InfoDriven {
+            delta,
+            min_rounds,
+            max_rounds,
+        } => (
+            None,
+            Some(WalkCountController::new(delta, min_rounds, max_rounds)),
+        ),
+    };
+
+    let mut round = 0usize;
+    loop {
+        let round_result = run_round(graph, partitioning, config, round as u64);
+        comm.merge(&round_result.comm);
+        peak_memory_sum += round_result.peak_memory_sum;
+        corpus.extend(round_result.corpus);
+
+        round += 1;
+        let continue_walking = match (&fixed_rounds, &mut controller) {
+            (Some(r), _) => round < *r,
+            (None, Some(ctrl)) => {
+                let d = relative_entropy(&degree_dist, &corpus.occurrence_distribution());
+                trace.push(d);
+                ctrl.record_round(d)
+            }
+            (None, None) => unreachable!("one of the policies is always set"),
+        };
+        if !continue_walking {
+            break;
+        }
+    }
+
+    let avg_machine_memory_bytes =
+        (peak_memory_sum + corpus.memory_bytes()) / num_machines.max(1) / round.max(1);
+
+    WalkResult {
+        corpus,
+        comm,
+        rounds: round,
+        relative_entropy_trace: trace,
+        avg_machine_memory_bytes,
+    }
+}
+
+struct RoundResult {
+    corpus: Corpus,
+    comm: CommStats,
+    peak_memory_sum: usize,
+}
+
+/// Runs one round: one walker per source node.
+fn run_round(
+    graph: &CsrGraph,
+    partitioning: &Partitioning,
+    config: &WalkEngineConfig,
+    round: u64,
+) -> RoundResult {
+    let n = graph.num_nodes();
+    let num_machines = partitioning.num_machines();
+
+    // One fresh walker per node, delivered to the machine owning its source.
+    let mut inboxes: Vec<Vec<WalkerMessage>> = (0..num_machines).map(|_| Vec::new()).collect();
+    for u in 0..n as NodeId {
+        let walk_id = round * n as u64 + u as u64;
+        let info = if config.needs_info() {
+            match config.info_mode {
+                InfoMode::FullPath => InfoPayload::FullPath(FullPathInfo::default()),
+                InfoMode::Incremental => InfoPayload::Incremental(IncrementalInfo::default()),
+            }
+        } else {
+            InfoPayload::None
+        };
+        inboxes[partitioning.machine_of(u)].push(WalkerMessage {
+            walk_id,
+            step: 0,
+            cur: u,
+            prev: None,
+            rng_state: SplitMix64::for_walker(config.seed, walk_id).state(),
+            info,
+        });
+    }
+
+    let states: Vec<MachineState> = (0..num_machines).map(|_| MachineState::new()).collect();
+    let outcome = run_bsp(
+        states,
+        inboxes,
+        config.max_supersteps,
+        |machine, state, mailbox, outbox| {
+            for msg in mailbox.messages {
+                process_walker(graph, partitioning, config, machine, state, msg, outbox);
+            }
+            state.update_memory_estimate();
+        },
+    );
+
+    // Assemble the corpus from the per-machine segments.
+    let mut per_walk: Vec<Vec<(u32, NodeId)>> = vec![Vec::new(); n];
+    let mut peak_memory_sum = 0usize;
+    for state in &outcome.states {
+        peak_memory_sum += state.peak_memory_bytes;
+        for &(walk_id, step, node) in &state.segments {
+            let local_id = (walk_id - round * n as u64) as usize;
+            per_walk[local_id].push((step, node));
+        }
+    }
+    let mut corpus = Corpus::new(n);
+    for mut steps in per_walk {
+        steps.sort_unstable_by_key(|&(s, _)| s);
+        debug_assert!(steps.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+        corpus.push_walk(steps.into_iter().map(|(_, v)| v).collect());
+    }
+
+    RoundResult {
+        corpus,
+        comm: outcome.comm,
+        peak_memory_sum,
+    }
+}
+
+/// Processes one walker on `machine` until it terminates or hops away.
+fn process_walker(
+    graph: &CsrGraph,
+    partitioning: &Partitioning,
+    config: &WalkEngineConfig,
+    machine: usize,
+    state: &mut MachineState,
+    mut msg: WalkerMessage,
+    outbox: &mut Outbox<WalkerMessage>,
+) {
+    let mut rng = SplitMix64::from_state(msg.rng_state);
+    loop {
+        // Accept `msg.cur` on this machine.
+        debug_assert_eq!(partitioning.machine_of(msg.cur), machine);
+        state.segments.push((msg.walk_id, msg.step, msg.cur));
+        let length = msg.step as u64 + 1;
+
+        let r_squared = match &mut msg.info {
+            InfoPayload::None => 1.0,
+            InfoPayload::FullPath(fp) => fp.accept(msg.cur).r_squared,
+            InfoPayload::Incremental(inc) => {
+                let counts = state.local_freq.entry(msg.walk_id).or_default();
+                let prev = counts.get(&msg.cur).copied().unwrap_or(0) as u64;
+                let snap = inc.accept(prev);
+                *counts.entry(msg.cur).or_insert(0) += 1;
+                snap.r_squared
+            }
+        };
+
+        let terminate = match config.length {
+            LengthPolicy::Fixed(l) => length >= l as u64,
+            LengthPolicy::InfoDriven {
+                mu,
+                min_len,
+                max_len,
+            } => length >= max_len as u64 || (length >= min_len as u64 && r_squared < mu),
+        };
+        if terminate {
+            // The walk is finished; its local frequency list is no longer
+            // needed on this machine (§3.1).
+            state.local_freq.remove(&msg.walk_id);
+            return;
+        }
+
+        let next = match propose_next(&config.model, graph, msg.prev, msg.cur, &mut rng) {
+            Some(v) => v,
+            None => {
+                state.local_freq.remove(&msg.walk_id);
+                return; // dead end (isolated or sink node)
+            }
+        };
+
+        msg.prev = Some(msg.cur);
+        msg.cur = next;
+        msg.step += 1;
+        let dest = partitioning.machine_of(next);
+        if dest == machine {
+            outbox.record_local_step();
+            // keep walking locally
+        } else {
+            msg.rng_state = rng.state();
+            outbox.send(dest, msg);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distger_partition::{balanced::workload_balanced_partition, mpgp_partition, MpgpConfig};
+
+    fn test_graph() -> CsrGraph {
+        distger_graph::barabasi_albert(300, 4, 17)
+    }
+
+    #[test]
+    fn routine_walks_have_fixed_length_and_count() {
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 4);
+        let mut config = WalkEngineConfig::knightking_routine(WalkModel::DeepWalk);
+        config.length = LengthPolicy::Fixed(20);
+        config.walks_per_node = WalkCountPolicy::Fixed(2);
+        let result = run_distributed_walks(&g, &p, &config);
+        assert_eq!(result.rounds, 2);
+        assert_eq!(result.corpus.num_walks(), 600);
+        assert!(result.corpus.walks().iter().all(|w| w.len() == 20));
+        // Every consecutive pair must be an edge.
+        for walk in result.corpus.walks() {
+            for pair in walk.windows(2) {
+                assert!(g.has_edge(pair[0], pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn info_driven_walks_terminate_early() {
+        let g = test_graph();
+        let p = mpgp_partition(&g, 4, MpgpConfig::default());
+        let result = run_distributed_walks(&g, &p, &WalkEngineConfig::distger());
+        assert!(result.rounds >= 2);
+        let avg = result.avg_walk_length();
+        assert!(
+            avg > 5.0 && avg < 80.0,
+            "information-driven walks should be shorter than the routine 80, got {avg}"
+        );
+        assert!(!result.relative_entropy_trace.is_empty());
+    }
+
+    #[test]
+    fn incremental_and_full_path_produce_identical_corpora() {
+        // With the same seed, the only difference between HuGE-D and InCoM is
+        // *how* the measurement is computed — the sampled walks must match.
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 4);
+        let incom = run_distributed_walks(&g, &p, &WalkEngineConfig::distger().with_seed(5));
+        let huge_d = run_distributed_walks(&g, &p, &WalkEngineConfig::huge_d().with_seed(5));
+        assert_eq!(incom.corpus, huge_d.corpus);
+        assert_eq!(incom.comm.messages, huge_d.comm.messages);
+        // …but HuGE-D ships far more bytes.
+        assert!(huge_d.comm.bytes > incom.comm.bytes);
+    }
+
+    #[test]
+    fn single_machine_run_has_no_messages() {
+        let g = test_graph();
+        let p = Partitioning::single_machine(g.num_nodes());
+        let result = run_distributed_walks(&g, &p, &WalkEngineConfig::distger());
+        assert_eq!(result.comm.messages, 0);
+        assert_eq!(result.comm.bytes, 0);
+        assert!(result.corpus.num_walks() >= g.num_nodes());
+    }
+
+    #[test]
+    fn mpgp_reduces_cross_machine_messages_vs_workload_balancing() {
+        let g = distger_graph::planted_partition(300, 4, 0.15, 0.005, 0.0, 23).graph;
+        let cfg = WalkEngineConfig::distger().with_seed(3);
+        let balanced = workload_balanced_partition(&g, 4);
+        let mpgp = mpgp_partition(&g, 4, MpgpConfig::default());
+        let r_balanced = run_distributed_walks(&g, &balanced, &cfg);
+        let r_mpgp = run_distributed_walks(&g, &mpgp, &cfg);
+        assert!(
+            r_mpgp.comm.messages < r_balanced.comm.messages,
+            "MPGP {} should send fewer messages than workload balancing {}",
+            r_mpgp.comm.messages,
+            r_balanced.comm.messages
+        );
+    }
+
+    #[test]
+    fn walks_are_deterministic_given_seed() {
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 3);
+        let cfg = WalkEngineConfig::distger().with_seed(11);
+        let a = run_distributed_walks(&g, &p, &cfg);
+        let b = run_distributed_walks(&g, &p, &cfg);
+        assert_eq!(a.corpus, b.corpus);
+        assert_eq!(a.comm, b.comm);
+    }
+
+    #[test]
+    fn general_api_supports_deepwalk_and_node2vec() {
+        let g = test_graph();
+        let p = mpgp_partition(&g, 2, MpgpConfig::default());
+        for model in [WalkModel::DeepWalk, WalkModel::Node2Vec { p: 0.5, q: 2.0 }] {
+            let result = run_distributed_walks(&g, &p, &WalkEngineConfig::distger_general(model));
+            assert!(result.corpus.num_walks() >= g.num_nodes());
+            let avg = result.avg_walk_length();
+            assert!(avg < 80.0, "{} avg length {avg}", model.name());
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_produce_singleton_walks() {
+        let mut b = distger_graph::GraphBuilder::new_undirected();
+        b.add_edge(0, 1);
+        b.reserve_nodes(4); // nodes 2 and 3 are isolated
+        let g = b.build();
+        let p = Partitioning::single_machine(4);
+        let cfg = WalkEngineConfig::knightking_routine(WalkModel::DeepWalk);
+        let result = run_distributed_walks(&g, &p, &cfg);
+        let singleton_walks = result
+            .corpus
+            .walks()
+            .iter()
+            .filter(|w| w.len() == 1)
+            .count();
+        assert!(
+            singleton_walks >= 2 * 10,
+            "each isolated node yields singleton walks"
+        );
+    }
+
+    #[test]
+    fn directed_graph_walks_follow_arcs() {
+        let mut b = distger_graph::GraphBuilder::new_directed();
+        b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let g = b.build();
+        let p = Partitioning::single_machine(g.num_nodes());
+        let mut cfg = WalkEngineConfig::knightking_routine(WalkModel::DeepWalk);
+        cfg.length = LengthPolicy::Fixed(10);
+        cfg.walks_per_node = WalkCountPolicy::Fixed(1);
+        let result = run_distributed_walks(&g, &p, &cfg);
+        for walk in result.corpus.walks() {
+            for pair in walk.windows(2) {
+                assert!(g.has_edge(pair[0], pair[1]), "directed arc must exist");
+            }
+        }
+        // Node 3 is a sink: walks reaching it must stop there.
+        assert!(result.corpus.walks().iter().all(|w| w
+            .iter()
+            .position(|&v| v == 3)
+            .is_none_or(|i| i == w.len() - 1)));
+    }
+}

@@ -1,0 +1,470 @@
+//! Information-effectiveness measurements for walks.
+//!
+//! HuGE (§2.1) terminates a walk when the information entropy of the walk,
+//! `H(W_L)` (Eq. 4), stops growing linearly with the walk length `L`, which it
+//! detects through the coefficient of determination `R²(H, L)` (Eq. 5)
+//! dropping below `μ`. It stops adding walks per node when the relative
+//! entropy between the node-degree distribution and the corpus occurrence
+//! distribution converges, `ΔD_r(p‖q) ≤ δ` (Eq. 6–7).
+//!
+//! Two implementations of the per-step measurement are provided:
+//!
+//! * [`FullPathInfo`] — the HuGE-D baseline (§2.3): recomputes `H` from the
+//!   full path at every step, `O(L)` work per step; the path must also travel
+//!   inside every cross-machine message.
+//! * [`IncrementalInfo`] — InCoM (§3.1): updates `H` in `O(1)` per step via
+//!   Theorem 1 and the running-moment recurrences of Eq. 13, so only ten
+//!   scalars ever cross machines.
+//!
+//! Property tests assert that the two implementations agree to floating-point
+//! accuracy on arbitrary walks.
+
+use distger_graph::NodeId;
+use std::collections::HashMap;
+
+/// `x · log2(x)` with the usual convention `0 · log2(0) = 0`.
+#[inline]
+fn xlog2(x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        x * x.log2()
+    }
+}
+
+/// Information entropy (Eq. 4) of a walk given explicit occurrence counts.
+pub fn entropy_from_counts<'a>(counts: impl Iterator<Item = &'a u64>, length: u64) -> f64 {
+    if length == 0 {
+        return 0.0;
+    }
+    let l = length as f64;
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / l;
+            h -= xlog2(p);
+        }
+    }
+    h
+}
+
+/// Information entropy (Eq. 4) of a walk given the node sequence.
+pub fn walk_entropy(walk: &[NodeId]) -> f64 {
+    let mut counts: HashMap<NodeId, u64> = HashMap::new();
+    for &v in walk {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    entropy_from_counts(counts.values(), walk.len() as u64)
+}
+
+/// Running first and second moments of the `(L, H)` series, updated with the
+/// incremental mean recurrence of Eq. 13. Ten 8-byte scalars — exactly the
+/// constant-size message payload of InCoM.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct InfoMoments {
+    /// Number of `(L, H)` points accumulated so far.
+    pub points: u64,
+    /// `E(H)`.
+    pub e_h: f64,
+    /// `E(L)`.
+    pub e_l: f64,
+    /// `E(H·L)`.
+    pub e_hl: f64,
+    /// `E(H²)`.
+    pub e_h2: f64,
+    /// `E(L²)`.
+    pub e_l2: f64,
+}
+
+impl InfoMoments {
+    /// Adds the point `(l, h)` using the incremental mean update
+    /// `E_p(X) = ((p−1)/p)·E_{p−1}(X) + X_p/p`.
+    pub fn push(&mut self, h: f64, l: f64) {
+        let p = (self.points + 1) as f64;
+        let carry = (p - 1.0) / p;
+        self.e_h = carry * self.e_h + h / p;
+        self.e_l = carry * self.e_l + l / p;
+        self.e_hl = carry * self.e_hl + (h * l) / p;
+        self.e_h2 = carry * self.e_h2 + (h * h) / p;
+        self.e_l2 = carry * self.e_l2 + (l * l) / p;
+        self.points += 1;
+    }
+
+    /// Coefficient of determination `R²(H, L)` (Eq. 5 / Eq. 12).
+    ///
+    /// Conventions for degenerate series: with fewer than two points, or when
+    /// the walk length variance vanishes, the series cannot yet show loss of
+    /// correlation, so `1.0` is returned (keep walking); when the entropy
+    /// variance vanishes while lengths vary, the entropy has flat-lined and
+    /// `0.0` is returned (terminate).
+    pub fn r_squared(&self) -> f64 {
+        const EPS: f64 = 1e-12;
+        if self.points < 2 {
+            return 1.0;
+        }
+        let var_h = (self.e_h2 - self.e_h * self.e_h).max(0.0);
+        let var_l = (self.e_l2 - self.e_l * self.e_l).max(0.0);
+        if var_l < EPS {
+            return 1.0;
+        }
+        if var_h < EPS {
+            return 0.0;
+        }
+        let cov = self.e_hl - self.e_h * self.e_l;
+        let r = cov / (var_h * var_l).sqrt();
+        (r * r).min(1.0)
+    }
+}
+
+/// Snapshot of the measurement state after accepting a node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InfoSnapshot {
+    /// Current walk entropy `H(W_L)`.
+    pub entropy: f64,
+    /// Current walk length `L` (number of nodes on the walk).
+    pub length: u64,
+    /// Current `R²(H, L)`.
+    pub r_squared: f64,
+}
+
+/// HuGE-D's full-path measurement: the path is stored in full and the entropy
+/// is recomputed from scratch after every accepted node (`O(L)` per step).
+#[derive(Clone, Debug, Default)]
+pub struct FullPathInfo {
+    path: Vec<NodeId>,
+    moments: InfoMoments,
+    entropy: f64,
+}
+
+impl FullPathInfo {
+    /// Starts a measurement for a walk beginning at `source`.
+    pub fn start(source: NodeId) -> Self {
+        let mut s = Self::default();
+        s.accept(source);
+        s
+    }
+
+    /// Accepts `node` onto the walk and returns the updated snapshot.
+    pub fn accept(&mut self, node: NodeId) -> InfoSnapshot {
+        self.path.push(node);
+        // Full recomputation — intentionally O(L); this is the cost InCoM removes.
+        self.entropy = walk_entropy(&self.path);
+        let l = self.path.len() as u64;
+        self.moments.push(self.entropy, l as f64);
+        InfoSnapshot {
+            entropy: self.entropy,
+            length: l,
+            r_squared: self.moments.r_squared(),
+        }
+    }
+
+    /// The path accumulated so far (this is what HuGE-D ships in messages).
+    pub fn path(&self) -> &[NodeId] {
+        &self.path
+    }
+
+    /// Current walk length.
+    pub fn length(&self) -> u64 {
+        self.path.len() as u64
+    }
+
+    /// Current entropy.
+    pub fn entropy(&self) -> f64 {
+        self.entropy
+    }
+
+    /// Current `R²`.
+    pub fn r_squared(&self) -> f64 {
+        self.moments.r_squared()
+    }
+}
+
+/// InCoM's incremental measurement (Theorem 1): constant work per accepted
+/// node, given the number of previous occurrences of that node on the walk.
+///
+/// The occurrence count is *not* stored here — it lives in the machine-local
+/// frequency lists (§3.1, Figure 2) — which is what keeps the cross-machine
+/// message constant-size.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IncrementalInfo {
+    entropy: f64,
+    length: u64,
+    moments: InfoMoments,
+}
+
+impl IncrementalInfo {
+    /// Starts a measurement for a walk beginning at its source node. The
+    /// source contributes the point `(L=1, H=0)`.
+    pub fn start() -> Self {
+        let mut moments = InfoMoments::default();
+        moments.push(0.0, 1.0);
+        Self {
+            entropy: 0.0,
+            length: 1,
+            moments,
+        }
+    }
+
+    /// Accepts the next node, whose number of occurrences on the walk *before*
+    /// this acceptance is `prev_count` (0 when the node is new to the walk).
+    ///
+    /// Implements Theorem 1:
+    /// `H(W_{L+1}) = (H(W_L)·L − log2 T) / (L + 1)` with
+    /// `log2 T = L·log2 L − (L+1)·log2(L+1) + n_{L+1}·log2 n_{L+1} − n_L·log2 n_L`.
+    pub fn accept(&mut self, prev_count: u64) -> InfoSnapshot {
+        let l = self.length as f64;
+        let n0 = prev_count as f64;
+        let n1 = (prev_count + 1) as f64;
+        let log2_t = xlog2(l) - xlog2(l + 1.0) + xlog2(n1) - xlog2(n0);
+        self.entropy = (self.entropy * l - log2_t) / (l + 1.0);
+        // Guard against tiny negative values from floating-point cancellation.
+        if self.entropy < 0.0 && self.entropy > -1e-9 {
+            self.entropy = 0.0;
+        }
+        self.length += 1;
+        self.moments.push(self.entropy, self.length as f64);
+        self.snapshot()
+    }
+
+    /// Current snapshot without accepting a node.
+    pub fn snapshot(&self) -> InfoSnapshot {
+        InfoSnapshot {
+            entropy: self.entropy,
+            length: self.length,
+            r_squared: self.moments.r_squared(),
+        }
+    }
+
+    /// Current walk length.
+    pub fn length(&self) -> u64 {
+        self.length
+    }
+
+    /// Current entropy.
+    pub fn entropy(&self) -> f64 {
+        self.entropy
+    }
+
+    /// Current `R²`.
+    pub fn r_squared(&self) -> f64 {
+        self.moments.r_squared()
+    }
+
+    /// The running moments (the payload of an InCoM message).
+    pub fn moments(&self) -> InfoMoments {
+        self.moments
+    }
+
+    /// Rebuilds the measurement from message fields received from another
+    /// machine.
+    pub fn from_parts(entropy: f64, length: u64, moments: InfoMoments) -> Self {
+        Self {
+            entropy,
+            length,
+            moments,
+        }
+    }
+}
+
+/// Relative entropy `D(p ‖ q)` (Eq. 6) between the node-degree distribution
+/// `p` and the corpus occurrence distribution `q`, in bits. Nodes that do not
+/// appear in the corpus are skipped (they contribute no finite term); this
+/// matches the paper's usage where the quantity is only tracked for
+/// convergence, not reported in absolute terms.
+pub fn relative_entropy(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must cover the same nodes");
+    let mut d = 0.0;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        if pi > 0.0 && qi > 0.0 {
+            d += pi * (pi / qi).log2();
+        }
+    }
+    d
+}
+
+/// Decides how many rounds of walks per node to run (Eq. 7): keep adding
+/// rounds until `|D_r − D_{r−1}| ≤ δ`, within `[min_rounds, max_rounds]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WalkCountController {
+    /// Convergence threshold `δ` (the paper uses `0.001`).
+    pub delta: f64,
+    /// Lower bound on the number of rounds.
+    pub min_rounds: usize,
+    /// Upper bound on the number of rounds (safety cap).
+    pub max_rounds: usize,
+    prev_d: Option<f64>,
+    rounds: usize,
+}
+
+impl WalkCountController {
+    /// Creates a controller with the paper's default `δ = 0.001`.
+    pub fn new(delta: f64, min_rounds: usize, max_rounds: usize) -> Self {
+        assert!(delta >= 0.0);
+        assert!(min_rounds >= 1 && min_rounds <= max_rounds);
+        Self {
+            delta,
+            min_rounds,
+            max_rounds,
+            prev_d: None,
+            rounds: 0,
+        }
+    }
+
+    /// Records the relative entropy after a completed round and returns `true`
+    /// if another round should be run.
+    pub fn record_round(&mut self, d: f64) -> bool {
+        self.rounds += 1;
+        let converged = match self.prev_d {
+            Some(prev) => (d - prev).abs() <= self.delta,
+            None => false,
+        };
+        self.prev_d = Some(d);
+        if self.rounds >= self.max_rounds {
+            return false;
+        }
+        if self.rounds < self.min_rounds {
+            return true;
+        }
+        !converged
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_basic_values() {
+        assert_eq!(walk_entropy(&[]), 0.0);
+        assert_eq!(walk_entropy(&[3]), 0.0);
+        assert!((walk_entropy(&[1, 2]) - 1.0).abs() < 1e-12);
+        assert!((walk_entropy(&[1, 2, 3, 4]) - 2.0).abs() < 1e-12);
+        // Repeated node halves the information.
+        let h = walk_entropy(&[1, 1, 2, 2]);
+        assert!((h - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_matches_full_recomputation() {
+        let walk: Vec<NodeId> = vec![0, 1, 2, 1, 3, 1, 0, 4, 4, 2, 5, 1];
+        let mut inc = IncrementalInfo::start();
+        let mut counts: HashMap<NodeId, u64> = HashMap::new();
+        counts.insert(walk[0], 1);
+        for (i, &v) in walk.iter().enumerate().skip(1) {
+            let prev = counts.get(&v).copied().unwrap_or(0);
+            inc.accept(prev);
+            *counts.entry(v).or_insert(0) += 1;
+            let expected = walk_entropy(&walk[..=i]);
+            assert!(
+                (inc.entropy() - expected).abs() < 1e-9,
+                "step {i}: incremental {} vs full {expected}",
+                inc.entropy()
+            );
+        }
+    }
+
+    #[test]
+    fn full_path_and_incremental_r2_agree() {
+        let walk: Vec<NodeId> = vec![7, 3, 9, 3, 3, 5, 7, 1, 0, 2, 2, 8];
+        let mut full = FullPathInfo::start(walk[0]);
+        let mut inc = IncrementalInfo::start();
+        let mut counts: HashMap<NodeId, u64> = HashMap::new();
+        counts.insert(walk[0], 1);
+        for &v in walk.iter().skip(1) {
+            let snap_full = full.accept(v);
+            let prev = counts.get(&v).copied().unwrap_or(0);
+            let snap_inc = inc.accept(prev);
+            *counts.entry(v).or_insert(0) += 1;
+            assert!((snap_full.entropy - snap_inc.entropy).abs() < 1e-9);
+            assert_eq!(snap_full.length, snap_inc.length);
+            assert!((snap_full.r_squared - snap_inc.r_squared).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn r_squared_high_while_growing_low_when_flat() {
+        // A short walk over distinct nodes: entropy grows almost linearly with
+        // length → R² stays close to 1 (above the termination threshold).
+        let mut growing = IncrementalInfo::start();
+        for _ in 0..4 {
+            growing.accept(0); // every node is new to the walk
+        }
+        assert!(
+            growing.r_squared() > 0.9,
+            "growing walk r2 = {}",
+            growing.r_squared()
+        );
+
+        // A walk trapped between two nodes: entropy flattens at 1 bit and the
+        // linear relation with L collapses, eventually crossing μ = 0.995.
+        let mut trapped = IncrementalInfo::start();
+        let mut counts: HashMap<NodeId, u64> = HashMap::new();
+        counts.insert(0, 1);
+        for step in 0..200u64 {
+            let v: NodeId = if step % 2 == 0 { 1 } else { 0 };
+            let prev = counts.get(&v).copied().unwrap_or(0);
+            trapped.accept(prev);
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        assert!(
+            trapped.r_squared() < 0.5,
+            "trapped walk should lose linearity, r2 = {}",
+            trapped.r_squared()
+        );
+        assert!((trapped.entropy() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn moments_r2_degenerate_cases() {
+        let m = InfoMoments::default();
+        assert_eq!(m.r_squared(), 1.0);
+        let mut one = InfoMoments::default();
+        one.push(0.0, 1.0);
+        assert_eq!(one.r_squared(), 1.0);
+        // Flat entropy, varying length → 0.
+        let mut flat = InfoMoments::default();
+        flat.push(2.0, 1.0);
+        flat.push(2.0, 2.0);
+        flat.push(2.0, 3.0);
+        assert_eq!(flat.r_squared(), 0.0);
+    }
+
+    #[test]
+    fn relative_entropy_properties() {
+        let p = vec![0.5, 0.25, 0.25];
+        assert_eq!(relative_entropy(&p, &p), 0.0);
+        let q = vec![0.25, 0.5, 0.25];
+        let d = relative_entropy(&p, &q);
+        assert!(d > 0.0);
+        // Unseen node contributes nothing.
+        let q2 = vec![0.75, 0.25, 0.0];
+        let d2 = relative_entropy(&p, &q2);
+        assert!(d2.is_finite());
+    }
+
+    #[test]
+    fn walk_count_controller_converges() {
+        let mut c = WalkCountController::new(0.001, 2, 10);
+        assert!(c.record_round(0.5)); // first round, no previous value
+        assert!(c.record_round(0.4)); // still changing
+        assert!(!c.record_round(0.4005)); // |Δ| ≤ δ → stop
+        assert_eq!(c.rounds(), 3);
+    }
+
+    #[test]
+    fn walk_count_controller_respects_bounds() {
+        let mut c = WalkCountController::new(10.0, 3, 5); // huge delta: converges instantly
+        assert!(c.record_round(0.1));
+        assert!(c.record_round(0.1)); // would converge, but min_rounds = 3
+        assert!(!c.record_round(0.1));
+
+        let mut c = WalkCountController::new(0.0, 1, 2); // never converges, capped at 2
+        assert!(c.record_round(1.0));
+        assert!(!c.record_round(0.5));
+    }
+}

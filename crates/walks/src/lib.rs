@@ -1,0 +1,33 @@
+//! Random-walk sampler for the DistGER reproduction.
+//!
+//! This crate implements every walking strategy the paper discusses:
+//!
+//! * **Routine random walks** (§2.1, §2.2): DeepWalk's first-order uniform
+//!   walks and node2vec's second-order walks with rejection sampling, run with
+//!   a fixed walk length `L` and a fixed number of walks per node `r` — the
+//!   KnightKing configuration.
+//! * **Information-oriented walks** (HuGE, §2.1): the hybrid transition
+//!   probability of Eq. 3, walk-length termination driven by the entropy /
+//!   walk-length coefficient of determination `R²(H, L) < μ` (Eq. 4–5), and a
+//!   walks-per-node budget driven by the relative-entropy convergence
+//!   `ΔD(p‖q) ≤ δ` (Eq. 6–7).
+//! * **HuGE-D** (§2.3): the distributed baseline that carries the *full path*
+//!   in every cross-machine message and recomputes the walk entropy from
+//!   scratch at each step (`O(L)` per step, `24 + 8·L` bytes per message).
+//! * **InCoM** (§3.1): DistGER's incremental information-centric computing —
+//!   `O(1)` per-step updates of `H` and `R²` (Theorem 1 and Eq. 13),
+//!   machine-local frequency lists, and constant 80-byte messages.
+//!
+//! All engines run on the simulated cluster of `distger-cluster` and report
+//! [`CommStats`](distger_cluster::CommStats) alongside the sampled [`Corpus`].
+
+pub mod corpus;
+pub mod engine;
+pub mod info;
+pub mod message;
+pub mod models;
+pub mod rng;
+
+pub use corpus::Corpus;
+pub use engine::{run_distributed_walks, InfoMode, WalkEngineConfig, WalkResult};
+pub use models::{LengthPolicy, WalkCountPolicy, WalkModel};

@@ -1,0 +1,116 @@
+//! Walker messages exchanged between simulated machines.
+//!
+//! Message sizes follow the paper's accounting (§2.2, §2.3, §3.1, Example 1),
+//! with 8 bytes per scalar field:
+//!
+//! * routine walkers (KnightKing / node2vec):
+//!   `[walk_id, steps, node_id, prev_node_id]` → **32 B**;
+//! * HuGE-D walkers: the same header plus the full path →
+//!   **`24 + 8·L` B** for a walk of current length `L`;
+//! * InCoM walkers: header plus `H, L, E(H), E(L), E(HL), E(H²), E(L²)` →
+//!   **80 B**, independent of the walk length.
+
+use crate::info::{FullPathInfo, IncrementalInfo};
+use distger_cluster::MessageSize;
+use distger_graph::NodeId;
+
+/// The information-measurement payload carried by a walker.
+#[derive(Clone, Debug)]
+pub enum InfoPayload {
+    /// Routine walks: no on-the-fly measurement.
+    None,
+    /// HuGE-D: the full path travels with the walker.
+    FullPath(FullPathInfo),
+    /// InCoM: only the constant-size incremental state travels.
+    Incremental(IncrementalInfo),
+}
+
+/// A walker in flight between machines (or about to start at its source).
+///
+/// Semantics: the walker is arriving at the machine owning [`Self::cur`] in
+/// order to *accept* that node; `info` reflects the walk **before** `cur` is
+/// appended. The receiving machine appends `cur` (recording it in its corpus
+/// shard and, for InCoM, in its local frequency list) and then keeps walking.
+#[derive(Clone, Debug)]
+pub struct WalkerMessage {
+    /// Globally unique walk identifier (`round · |V| + source`).
+    pub walk_id: u64,
+    /// Number of nodes already accepted on this walk (0 for a fresh walker).
+    pub step: u32,
+    /// The node the walker is arriving at.
+    pub cur: NodeId,
+    /// The node the walker came from (needed by second-order models).
+    pub prev: Option<NodeId>,
+    /// Deterministic per-walker RNG state.
+    pub rng_state: u64,
+    /// Information-measurement payload.
+    pub info: InfoPayload,
+}
+
+impl MessageSize for WalkerMessage {
+    fn size_bytes(&self) -> usize {
+        match &self.info {
+            // [walk_id, steps, node_id, prev_node_id]
+            InfoPayload::None => 32,
+            // [walk_id, steps, node_id] + 8·L path entries
+            InfoPayload::FullPath(fp) => 24 + 8 * fp.length() as usize,
+            // [walker_id, steps, node_id, H, L, E(H), E(L), E(HL), E(H²), E(L²)]
+            InfoPayload::Incremental(_) => 80,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_message(info: InfoPayload) -> WalkerMessage {
+        WalkerMessage {
+            walk_id: 1,
+            step: 3,
+            cur: 7,
+            prev: Some(5),
+            rng_state: 99,
+            info,
+        }
+    }
+
+    #[test]
+    fn routine_message_is_32_bytes() {
+        assert_eq!(base_message(InfoPayload::None).size_bytes(), 32);
+    }
+
+    #[test]
+    fn incremental_message_is_80_bytes_regardless_of_length() {
+        let mut inc = IncrementalInfo::start();
+        for _ in 0..70 {
+            inc.accept(0);
+        }
+        assert_eq!(base_message(InfoPayload::Incremental(inc)).size_bytes(), 80);
+    }
+
+    #[test]
+    fn full_path_message_grows_with_walk_length() {
+        let mut fp = FullPathInfo::start(0);
+        for v in 1..=9u32 {
+            fp.accept(v);
+        }
+        // L = 10 → 24 + 80 = 104 bytes.
+        assert_eq!(base_message(InfoPayload::FullPath(fp)).size_bytes(), 104);
+    }
+
+    #[test]
+    fn paper_example_ratio_holds() {
+        // Example 1: at the maximum path length of 80, a HuGE-D message is
+        // 24 + 8·80 = 664 B ≈ 8.3× the 80 B InCoM message.
+        let mut fp = FullPathInfo::start(0);
+        for v in 1..80u32 {
+            fp.accept(v % 10);
+        }
+        let huge_d = base_message(InfoPayload::FullPath(fp)).size_bytes();
+        let incom = 80usize;
+        assert_eq!(huge_d, 664);
+        let ratio = huge_d as f64 / incom as f64;
+        assert!((ratio - 8.3).abs() < 0.01);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the walk measurements and engines.
+
+use distger_graph::{GraphBuilder, NodeId};
+use distger_partition::{mpgp_partition, MpgpConfig, Partitioning};
+use distger_walks::info::{walk_entropy, FullPathInfo, IncrementalInfo};
+use distger_walks::{
+    run_distributed_walks, LengthPolicy, WalkCountPolicy, WalkEngineConfig, WalkModel,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: the incremental entropy equals the full recomputation for
+    /// arbitrary node sequences.
+    #[test]
+    fn incremental_entropy_matches_full(walk in prop::collection::vec(0u32..20, 1..120)) {
+        let mut inc = IncrementalInfo::default();
+        let mut full = FullPathInfo::default();
+        let mut counts: HashMap<NodeId, u64> = HashMap::new();
+        for (i, &v) in walk.iter().enumerate() {
+            let prev = counts.get(&v).copied().unwrap_or(0);
+            let si = inc.accept(prev);
+            let sf = full.accept(v);
+            *counts.entry(v).or_insert(0) += 1;
+            let expected = walk_entropy(&walk[..=i]);
+            prop_assert!((si.entropy - expected).abs() < 1e-8, "incremental diverged at {i}");
+            prop_assert!((sf.entropy - expected).abs() < 1e-8, "full-path diverged at {i}");
+            prop_assert!((si.r_squared - sf.r_squared).abs() < 1e-8);
+            prop_assert!(si.entropy >= -1e-12);
+            prop_assert!(si.r_squared >= 0.0 && si.r_squared <= 1.0);
+        }
+    }
+
+    /// Entropy is bounded by log2 of the number of distinct nodes.
+    #[test]
+    fn entropy_bounded_by_log_distinct(walk in prop::collection::vec(0u32..50, 1..200)) {
+        let h = walk_entropy(&walk);
+        let distinct = walk.iter().collect::<std::collections::HashSet<_>>().len() as f64;
+        prop_assert!(h <= distinct.log2() + 1e-9);
+        prop_assert!(h >= 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Distributed walks over arbitrary small graphs: every produced walk is a
+    /// real path in the graph and every node starts the configured number of
+    /// walks.
+    #[test]
+    fn walks_are_paths_and_cover_sources(
+        edges in prop::collection::vec((0u32..25, 0u32..25), 10..80),
+        machines in 1usize..4,
+        seed in 0u64..20,
+    ) {
+        let mut b = GraphBuilder::new_undirected();
+        for (u, v) in edges { b.add_edge(u, v); }
+        b.reserve_nodes(25);
+        let g = b.build();
+        let p = mpgp_partition(&g, machines, MpgpConfig { seed, ..MpgpConfig::default() });
+        let mut cfg = WalkEngineConfig::knightking_routine(WalkModel::DeepWalk).with_seed(seed);
+        cfg.length = LengthPolicy::Fixed(12);
+        cfg.walks_per_node = WalkCountPolicy::Fixed(1);
+        let result = run_distributed_walks(&g, &p, &cfg);
+        prop_assert_eq!(result.corpus.num_walks(), g.num_nodes());
+        for walk in result.corpus.walks() {
+            prop_assert!(walk.len() <= 12);
+            for pair in walk.windows(2) {
+                prop_assert!(g.has_edge(pair[0], pair[1]), "non-edge in walk");
+            }
+        }
+        // Message bytes must equal 32 per cross-machine hop for routine walks.
+        prop_assert_eq!(result.comm.bytes, result.comm.messages * 32);
+    }
+
+    /// InCoM message accounting: exactly 80 bytes per cross-machine hop.
+    #[test]
+    fn incom_messages_are_constant_size(seed in 0u64..10) {
+        let g = distger_graph::barabasi_albert(120, 3, seed);
+        let p = mpgp_partition(&g, 3, MpgpConfig::default());
+        let result = run_distributed_walks(&g, &p, &WalkEngineConfig::distger().with_seed(seed));
+        prop_assert_eq!(result.comm.bytes, result.comm.messages * 80);
+    }
+}
+
+#[test]
+fn single_machine_and_multi_machine_walks_agree() {
+    // The sampled corpus must be independent of the partitioning: walkers are
+    // deterministic given (seed, walk_id) no matter where they execute.
+    let g = distger_graph::barabasi_albert(150, 3, 5);
+    let cfg = WalkEngineConfig::distger().with_seed(9);
+    let single = run_distributed_walks(&g, &Partitioning::single_machine(150), &cfg);
+    let multi = run_distributed_walks(&g, &mpgp_partition(&g, 4, MpgpConfig::default()), &cfg);
+    assert_eq!(single.corpus, multi.corpus);
+    assert_eq!(single.comm.messages, 0);
+    assert!(multi.comm.messages > 0);
+}

@@ -1,0 +1,62 @@
+//! # DistGER — Distributed Graph Embedding with Information-Oriented Random Walks
+//!
+//! A Rust reproduction of the VLDB 2023 paper *"Distributed Graph Embedding
+//! with Information-Oriented Random Walks"* (Fang et al.). This facade crate
+//! re-exports the member crates of the workspace so that an application only
+//! needs one dependency:
+//!
+//! * [`graph`] — CSR graph storage, synthetic generators and loaders;
+//! * [`partition`] — streaming partitioners, including the paper's MPGP;
+//! * [`cluster`] — the simulated distributed runtime (machines, BSP,
+//!   communication accounting);
+//! * [`walks`] — routine and information-oriented random-walk engines
+//!   (KnightKing-style, HuGE-D, InCoM);
+//! * [`embed`] — distributed Skip-Gram trainers (Hogwild, Pword2vec, DSGL);
+//! * [`eval`] — link prediction and node classification;
+//! * [`core`] — the end-to-end pipeline and the comparison baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use distger::prelude::*;
+//!
+//! // A small power-law-cluster graph standing in for a social network.
+//! let graph = distger::graph::powerlaw_cluster(300, 4, 0.6, 42);
+//!
+//! // The full DistGER system on 4 simulated machines, scaled down.
+//! let config = DistGerConfig::distger(4).small().with_seed(7);
+//! let result = run_pipeline(&graph, &config);
+//!
+//! assert_eq!(result.embeddings.num_nodes(), 300);
+//! println!(
+//!     "sampled {} tokens, {} cross-machine messages, {:.2}s end to end",
+//!     result.corpus_tokens,
+//!     result.walk_comm.messages,
+//!     result.end_to_end_secs(),
+//! );
+//! ```
+
+pub use distger_cluster as cluster;
+pub use distger_core as core;
+pub use distger_embed as embed;
+pub use distger_eval as eval;
+pub use distger_graph as graph;
+pub use distger_partition as partition;
+pub use distger_walks as walks;
+
+/// The most commonly used types, importable with `use distger::prelude::*`.
+pub mod prelude {
+    pub use distger_cluster::{ClusterConfig, CommStats, NetworkModel, PhaseTimes};
+    pub use distger_core::{
+        run_pipeline, run_system, DistGerConfig, PartitionerChoice, PipelineResult, RunScale,
+        SystemKind,
+    };
+    pub use distger_embed::{Embeddings, SyncStrategy, TrainerConfig, TrainerKind};
+    pub use distger_eval::{evaluate_classification, evaluate_link_prediction, split_edges};
+    pub use distger_graph::{CsrGraph, GraphBuilder, NodeId};
+    pub use distger_partition::{MpgpConfig, Partitioning, StreamingOrder};
+    pub use distger_walks::{
+        run_distributed_walks, Corpus, InfoMode, LengthPolicy, WalkCountPolicy, WalkEngineConfig,
+        WalkModel,
+    };
+}
