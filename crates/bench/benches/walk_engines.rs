@@ -1,12 +1,20 @@
 //! Figure 10(a) at micro scale: random-walk time of the routine KnightKing
-//! configuration, the HuGE-D full-path baseline, and DistGER's InCoM engine.
+//! configuration, the HuGE-D full-path baseline, and DistGER's InCoM engine —
+//! plus a steps-per-second throughput comparison of the flat frequency store
+//! against the retained nested-HashMap reference path, exported to
+//! `BENCH_walks.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use distger_bench::{bench_dataset, BenchScale};
+use distger_bench::{bench_dataset, BenchScale, Report};
 use distger_graph::generate::PaperDataset;
-use distger_partition::{balanced::workload_balanced_partition, mpgp_partition, MpgpConfig};
-use distger_walks::{run_distributed_walks, WalkEngineConfig, WalkModel};
+use distger_partition::{
+    balanced::workload_balanced_partition, mpgp_partition, MpgpConfig, Partitioning,
+};
+use distger_walks::{
+    run_distributed_walks, FreqBackend, WalkCountPolicy, WalkEngineConfig, WalkModel,
+};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_walks(c: &mut Criterion) {
     let graph = bench_dataset(PaperDataset::Flickr, BenchScale::Smoke, 3);
@@ -45,5 +53,88 @@ fn bench_walks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_walks);
+/// Steps-per-second throughput of the InCoM sampler under the two frequency
+/// store backends.
+///
+/// The workload is shaped to expose the store, not the harness: DeepWalk
+/// transitions keep the per-step transition cost minimal, a single simulated
+/// machine collapses the BSP run to one superstep (so thread-spawn overhead
+/// does not drown the per-step work), and the Default-scale Flickr stand-in
+/// with several fixed rounds yields hundreds of thousands of steps per run.
+fn bench_freq_store_throughput(c: &mut Criterion) {
+    let graph = bench_dataset(PaperDataset::Flickr, BenchScale::Default, 3);
+    let partitioning = Partitioning::single_machine(graph.num_nodes());
+    let backends = [
+        ("flat", FreqBackend::Flat),
+        ("nested_reference", FreqBackend::NestedReference),
+    ];
+    let config_for = |backend| {
+        let mut config = WalkEngineConfig::distger_general(WalkModel::DeepWalk)
+            .with_seed(7)
+            .with_freq_backend(backend);
+        config.walks_per_node = WalkCountPolicy::Fixed(5);
+        config
+    };
+
+    let mut group = c.benchmark_group("freq_store_steps_per_sec");
+    group.sample_size(10);
+    for (label, backend) in backends {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(run_distributed_walks(
+                    &graph,
+                    &partitioning,
+                    &config_for(backend),
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    // Timed steps/sec measurement exported for the repo's records. Best of
+    // `reps` runs per backend to suppress scheduler noise.
+    let reps = 5;
+    let mut report = Report::new(
+        "bench_walks",
+        "InCoM sampler throughput: flat vs nested-HashMap frequency store",
+        &["steps_per_sec", "total_steps", "best_secs"],
+    );
+    let mut per_backend = Vec::new();
+    for (label, backend) in backends {
+        let config = config_for(backend);
+        let mut best_secs = f64::INFINITY;
+        let mut total_steps = 0u64;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let result = black_box(run_distributed_walks(&graph, &partitioning, &config));
+            let secs = start.elapsed().as_secs_f64();
+            // Keep (time, steps) as a pair from the same rep so the ratio
+            // stays meaningful even if the config ever turns nondeterministic.
+            if secs < best_secs {
+                best_secs = secs;
+                total_steps = result.comm.total_steps();
+            }
+        }
+        let steps_per_sec = total_steps as f64 / best_secs;
+        println!(
+            "freq_store_throughput/{label}: {steps_per_sec:.0} steps/s \
+             ({total_steps} steps in {best_secs:.4}s best of {reps})"
+        );
+        report.push(label, vec![steps_per_sec, total_steps as f64, best_secs]);
+        per_backend.push((label, steps_per_sec));
+    }
+    if let [(_, flat), (_, nested)] = per_backend[..] {
+        println!(
+            "freq_store_throughput: flat/nested speedup = {:.2}x",
+            flat / nested
+        );
+    }
+    // Benches run with the package directory as cwd; anchor the report at
+    // the workspace root.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_walks.json");
+    std::fs::write(&out, report.to_json().to_string_pretty()).expect("write BENCH_walks.json");
+    println!("{}", report.to_text());
+}
+
+criterion_group!(benches, bench_walks, bench_freq_store_throughput);
 criterion_main!(benches);

@@ -820,18 +820,14 @@ fn main() {
         for report in &reports {
             println!("{}", report.to_text());
             let path = out_dir.join(format!("{}.json", report.id));
-            std::fs::write(
-                &path,
-                serde_json::to_string_pretty(&report.to_json()).unwrap(),
-            )
-            .expect("write report JSON");
+            std::fs::write(&path, report.to_json().to_string_pretty()).expect("write report JSON");
             all_json.push(report.to_json());
         }
         println!("[{name} completed in {elapsed:.1}s]\n");
     }
     std::fs::write(
         out_dir.join("all.json"),
-        serde_json::to_string_pretty(&serde_json::Value::Array(all_json)).unwrap(),
+        distger_bench::json::Value::Array(all_json).to_string_pretty(),
     )
     .expect("write combined JSON");
 }

@@ -3,6 +3,7 @@
 //! and JSON result export.
 
 pub mod datasets;
+pub mod json;
 pub mod report;
 
 pub use datasets::{bench_dataset, labelled_dataset, BenchScale};

@@ -99,16 +99,27 @@ impl Report {
     }
 
     /// Serializes the report to a JSON value.
-    pub fn to_json(&self) -> serde_json::Value {
-        serde_json::json!({
-            "id": self.id,
-            "title": self.title,
-            "columns": self.columns,
-            "rows": self.rows.iter().map(|r| serde_json::json!({
-                "label": r.label,
-                "values": r.values,
-            })).collect::<Vec<_>>(),
-        })
+    pub fn to_json(&self) -> crate::json::Value {
+        use crate::json::{object, Value};
+        object([
+            ("id", Value::from(self.id.clone())),
+            ("title", Value::from(self.title.clone())),
+            ("columns", Value::from(self.columns.clone())),
+            (
+                "rows",
+                Value::Array(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            object([
+                                ("label", Value::from(r.label.clone())),
+                                ("values", Value::from(r.values.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 

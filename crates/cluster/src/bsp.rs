@@ -6,11 +6,21 @@
 //! boundary. [`run_bsp`] reproduces this scheme with one OS thread per
 //! machine per superstep and accounts every cross-machine message through
 //! [`CommStats`].
+//!
+//! The message queues are **double-buffered**: every machine owns a
+//! persistent [`Outbox`] whose per-destination queues survive across
+//! supersteps, and inboxes are refilled by *moving* messages out of those
+//! queues at the superstep boundary ([`Vec::append`] keeps both allocations
+//! alive). After the first few supersteps the exchange runs without any
+//! queue reallocation — the steady state is allocation-free.
 
 use crate::comm::{CommStats, MessageSize};
 use crate::MachineId;
 
 /// Per-machine outgoing message buffer handed to the step function.
+///
+/// Outboxes persist across supersteps; their queues are drained (not
+/// dropped) at every superstep boundary so queue capacity is reused.
 pub struct Outbox<M> {
     owner: MachineId,
     queues: Vec<Vec<M>>,
@@ -51,9 +61,13 @@ impl<M: MessageSize> Outbox<M> {
 }
 
 /// Messages delivered to one machine at the start of a superstep.
-pub struct Mailbox<M> {
+///
+/// The messages are drained out of the machine's persistent inbox so the
+/// inbox allocation is reused by the next superstep (any message left
+/// unconsumed is dropped when the mailbox goes out of scope).
+pub struct Mailbox<'a, M> {
     /// The messages, in arbitrary order.
-    pub messages: Vec<M>,
+    pub messages: std::vec::Drain<'a, M>,
 }
 
 /// Result of a BSP run.
@@ -91,7 +105,7 @@ pub fn run_bsp<S, M, F>(
 where
     S: Send,
     M: MessageSize + Send,
-    F: Fn(MachineId, &mut S, Mailbox<M>, &mut Outbox<M>) + Sync,
+    F: for<'a> Fn(MachineId, &mut S, Mailbox<'a, M>, &mut Outbox<M>) + Sync,
 {
     let num_machines = states.len();
     assert!(num_machines > 0, "need at least one machine");
@@ -99,7 +113,11 @@ where
 
     let mut states = states;
     let mut inboxes: Vec<Vec<M>> = initial;
-    let mut comm = CommStats::new();
+    // One persistent outbox per machine: queue capacity is recycled across
+    // supersteps instead of reallocated.
+    let mut outboxes: Vec<Outbox<M>> = (0..num_machines)
+        .map(|machine| Outbox::new(machine, num_machines))
+        .collect();
     let mut supersteps: u64 = 0;
 
     while inboxes.iter().any(|q| !q.is_empty()) {
@@ -109,38 +127,41 @@ where
         );
         supersteps += 1;
 
-        let current: Vec<Vec<M>> = std::mem::replace(
-            &mut inboxes,
-            (0..num_machines).map(|_| Vec::new()).collect(),
-        );
-
         // Run every machine on its own scoped thread for this superstep.
         let step_ref = &step;
-        let results: Vec<(MachineId, Outbox<M>)> = crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = states
                 .iter_mut()
-                .zip(current)
+                .zip(inboxes.iter_mut())
+                .zip(outboxes.iter_mut())
                 .enumerate()
-                .map(|(machine, (state, msgs))| {
-                    scope.spawn(move |_| {
-                        let mut outbox = Outbox::new(machine, num_machines);
-                        step_ref(machine, state, Mailbox { messages: msgs }, &mut outbox);
-                        (machine, outbox)
+                .map(|(machine, ((state, inbox), outbox))| {
+                    scope.spawn(move || {
+                        let mailbox = Mailbox {
+                            messages: inbox.drain(..),
+                        };
+                        step_ref(machine, state, mailbox, outbox);
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("BSP worker thread panicked");
+            for handle in handles {
+                handle.join().expect("BSP worker thread panicked");
+            }
+        });
 
-        for (_, outbox) in results {
-            comm.merge(&outbox.stats);
-            for (to, msgs) in outbox.queues.into_iter().enumerate() {
-                inboxes[to].extend(msgs);
+        // Superstep boundary: move queued messages into the (now empty)
+        // inboxes. `append` transfers elements and keeps both allocations.
+        for outbox in &mut outboxes {
+            for (to, queue) in outbox.queues.iter_mut().enumerate() {
+                inboxes[to].append(queue);
             }
         }
     }
 
+    let mut comm = CommStats::new();
+    for outbox in &outboxes {
+        comm.merge(&outbox.stats);
+    }
     comm.supersteps = supersteps;
     BspOutcome {
         states,

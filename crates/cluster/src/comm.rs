@@ -7,8 +7,6 @@
 //! captures exactly these quantities, and [`NetworkModel`] converts them into
 //! modelled communication time `N·M/B + N·latency`.
 
-use serde::{Deserialize, Serialize};
-
 /// Types that know their own serialized size on the wire.
 ///
 /// Message sizes follow the paper's accounting (§3.1, Example 1): an 8-byte
@@ -20,7 +18,7 @@ pub trait MessageSize {
 }
 
 /// Aggregated communication statistics for one run (or one machine).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Number of cross-machine messages.
     pub messages: u64,
@@ -88,7 +86,7 @@ impl CommStats {
 }
 
 /// Analytic interconnect model: `time = bytes / bandwidth + messages · latency`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NetworkModel {
     /// Usable bandwidth in bytes per second.
     pub bandwidth_bytes_per_sec: f64,

@@ -5,10 +5,8 @@
 //! (graph partition, walker state, corpus shard, embedding matrices, buffers)
 //! register their sizes here so the harness can print the same rows.
 
-use serde::{Deserialize, Serialize};
-
 /// A named breakdown of estimated resident memory.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MemoryEstimate {
     components: Vec<(String, usize)>,
 }

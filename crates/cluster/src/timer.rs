@@ -4,7 +4,6 @@
 //! walks (sampling), and training (§6.2, §8.1); [`PhaseTimes`] carries that
 //! breakdown through the pipeline and the experiment harness.
 
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// A simple wall-clock stopwatch.
@@ -41,7 +40,7 @@ impl Default for Stopwatch {
 }
 
 /// Per-phase wall-clock times of one end-to-end run, in seconds.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PhaseTimes {
     /// Graph partitioning time.
     pub partition_secs: f64,

@@ -223,11 +223,8 @@ pub fn run_pipeline(graph: &CsrGraph, config: &DistGerConfig) -> PipelineResult 
             "graph partition",
             graph.memory_bytes() / num_machines.max(1),
         )
-        .add("walker state", walk_result.avg_machine_memory_bytes)
-        .add(
-            "corpus shard",
-            walk_result.corpus.memory_bytes() / num_machines.max(1),
-        );
+        .add("walker state", walk_result.walker_peak_bytes)
+        .add("corpus shard", walk_result.corpus_shard_bytes);
     let mut training_memory = MemoryEstimate::new();
     training_memory
         .add(

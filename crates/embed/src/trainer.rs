@@ -7,7 +7,6 @@
 //! run as real concurrent threads; the synchronization traffic is accounted
 //! through [`CommStats`].
 
-use crossbeam::thread as cb_thread;
 use distger_cluster::CommStats;
 use distger_walks::rng::SplitMix64;
 use distger_walks::Corpus;
@@ -201,7 +200,7 @@ pub fn train_distributed(
         let slice_idx = chunk % config.sync_rounds_per_epoch.max(1);
 
         // Machines run concurrently, each training its shard slice.
-        let chunk_results: Vec<(u64, usize)> = cb_thread::scope(|scope| {
+        let chunk_results: Vec<(u64, usize)> = std::thread::scope(|scope| {
             let handles: Vec<_> = replicas
                 .iter()
                 .zip(shards.iter())
@@ -209,7 +208,7 @@ pub fn train_distributed(
                 .map(|(machine, (replica, shard))| {
                     let vocab_ref = &table;
                     let sigmoid_ref = &sigmoid;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let slice = epoch_slice(shard, slice_idx, config.sync_rounds_per_epoch);
                         train_machine_chunk(
                             replica,
@@ -223,9 +222,11 @@ pub fn train_distributed(
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("training thread panicked");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("training thread panicked"))
+                .collect()
+        });
 
         for (pairs, buffer_bytes) in chunk_results {
             pairs_processed += pairs;
@@ -314,18 +315,20 @@ fn train_machine_chunk(
         return run_kind(&ctx, walks, config.kind, machine);
     }
     let per = walks.len().div_ceil(threads);
-    let results: Vec<(u64, usize)> = cb_thread::scope(|scope| {
+    let results: Vec<(u64, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = walks
             .chunks(per)
             .enumerate()
             .map(|(t, chunk)| {
                 let ctx_ref = &ctx;
-                scope.spawn(move |_| run_kind(ctx_ref, chunk, config.kind, machine * 97 + t as u64))
+                scope.spawn(move || run_kind(ctx_ref, chunk, config.kind, machine * 97 + t as u64))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("trainer worker thread panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trainer worker thread panicked"))
+            .collect()
+    });
     results
         .into_iter()
         .fold((0, 0), |(p, b), (pp, bb)| (p + pp, b.max(bb)))

@@ -187,11 +187,11 @@ pub fn parallel_mpgp_partition(
     let segments: Vec<&[NodeId]> = stream.chunks(chunk).collect();
 
     let mut merged: Vec<MachineId> = vec![0; graph.num_nodes()];
-    let results: Vec<Vec<(NodeId, MachineId)>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Vec<(NodeId, MachineId)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = segments
             .iter()
             .map(|segment| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut state = MpgpState::new(graph, num_machines, config);
                     state.run(segment);
                     segment
@@ -201,9 +201,11 @@ pub fn parallel_mpgp_partition(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("partitioning threads must not panic");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partitioning threads must not panic"))
+            .collect()
+    });
 
     for segment_result in results {
         for (v, m) in segment_result {

@@ -5,6 +5,12 @@
 //! also needs per-node occurrence counts (for the frequency-ordered global
 //! matrices and the hotness blocks of DSGL) and the occurrence probability
 //! distribution `q(v)` used by the walks-per-node convergence test (Eq. 6).
+//!
+//! The occurrence counts are maintained **incrementally**: every
+//! [`push_walk`](Corpus::push_walk) / [`extend`](Corpus::extend) updates the
+//! per-node counters as tokens arrive, so the per-round relative-entropy
+//! convergence check reads a cached `O(|V|)` array instead of rescanning the
+//! whole `O(C)` corpus (`C` = total tokens, which grows with every round).
 
 use distger_graph::NodeId;
 
@@ -13,6 +19,10 @@ use distger_graph::NodeId;
 pub struct Corpus {
     walks: Vec<Vec<NodeId>>,
     num_nodes: usize,
+    /// Per-node occurrence counts `ocn(v)`, maintained incrementally.
+    freq: Vec<u64>,
+    /// Total token count `C = Σ ocn`, maintained incrementally.
+    total_tokens: u64,
 }
 
 impl Corpus {
@@ -21,10 +31,14 @@ impl Corpus {
         Self {
             walks: Vec::new(),
             num_nodes,
+            freq: vec![0; num_nodes],
+            total_tokens: 0,
         }
     }
 
-    /// Creates a corpus directly from walks.
+    /// Creates a corpus directly from walks. Empty walks are discarded, the
+    /// same as [`push_walk`](Corpus::push_walk), so a corpus never holds
+    /// them (and [`split`](Corpus::split) stays walk-count-preserving).
     ///
     /// # Panics
     /// Panics if any walk mentions a node id `>= num_nodes`.
@@ -36,13 +50,21 @@ impl Corpus {
                 .all(|&v| (v as usize) < num_nodes),
             "walk mentions a node outside the graph"
         );
-        Self { walks, num_nodes }
+        let mut corpus = Corpus::new(num_nodes);
+        for walk in walks {
+            corpus.push_walk(walk);
+        }
+        corpus
     }
 
     /// Appends a walk. Empty walks are ignored.
     pub fn push_walk(&mut self, walk: Vec<NodeId>) {
         if !walk.is_empty() {
             debug_assert!(walk.iter().all(|&v| (v as usize) < self.num_nodes));
+            for &v in &walk {
+                self.freq[v as usize] += 1;
+            }
+            self.total_tokens += walk.len() as u64;
             self.walks.push(walk);
         }
     }
@@ -50,6 +72,10 @@ impl Corpus {
     /// Appends all walks from another corpus over the same graph.
     pub fn extend(&mut self, other: Corpus) {
         assert_eq!(self.num_nodes, other.num_nodes);
+        for (mine, theirs) in self.freq.iter_mut().zip(&other.freq) {
+            *mine += theirs;
+        }
+        self.total_tokens += other.total_tokens;
         self.walks.extend(other.walks);
     }
 
@@ -69,9 +95,9 @@ impl Corpus {
     }
 
     /// Total number of tokens (node occurrences) over all walks — the corpus
-    /// size `C` of the complexity analyses.
+    /// size `C` of the complexity analyses. `O(1)` (cached).
     pub fn total_tokens(&self) -> usize {
-        self.walks.iter().map(|w| w.len()).sum()
+        self.total_tokens as usize
     }
 
     /// Mean walk length (0 for an empty corpus).
@@ -79,37 +105,39 @@ impl Corpus {
         if self.walks.is_empty() {
             0.0
         } else {
-            self.total_tokens() as f64 / self.walks.len() as f64
+            self.total_tokens as f64 / self.walks.len() as f64
         }
     }
 
-    /// Per-node occurrence counts `ocn(v)`.
+    /// Per-node occurrence counts `ocn(v)`, borrowed from the incrementally
+    /// maintained counters (`O(1)`).
+    pub fn frequencies(&self) -> &[u64] {
+        &self.freq
+    }
+
+    /// Per-node occurrence counts `ocn(v)` as an owned vector.
     pub fn node_frequencies(&self) -> Vec<u64> {
-        let mut freq = vec![0u64; self.num_nodes];
-        for walk in &self.walks {
-            for &v in walk {
-                freq[v as usize] += 1;
-            }
-        }
-        freq
+        self.freq.clone()
     }
 
     /// Occurrence probability distribution `q(v) = ocn(v) / Σ ocn` (Eq. 6).
+    /// `O(|V|)` from the cached counters — independent of the corpus size.
     pub fn occurrence_distribution(&self) -> Vec<f64> {
-        let freq = self.node_frequencies();
-        let total: u64 = freq.iter().sum();
-        if total == 0 {
+        if self.total_tokens == 0 {
             return vec![0.0; self.num_nodes];
         }
-        freq.iter().map(|&f| f as f64 / total as f64).collect()
+        let total = self.total_tokens as f64;
+        self.freq.iter().map(|&f| f as f64 / total).collect()
     }
 
-    /// Estimated resident memory of the corpus in bytes.
+    /// Estimated resident memory of the corpus in bytes (walk storage plus
+    /// the incremental occurrence counters).
     pub fn memory_bytes(&self) -> usize {
         self.walks
             .iter()
             .map(|w| w.len() * std::mem::size_of::<NodeId>() + std::mem::size_of::<Vec<NodeId>>())
             .sum::<usize>()
+            + self.freq.len() * std::mem::size_of::<u64>()
             + std::mem::size_of::<Self>()
     }
 
@@ -123,7 +151,7 @@ impl Corpus {
             // Greedy least-loaded assignment keeps token counts balanced.
             let target = (0..parts).min_by_key(|&i| loads[i]).unwrap();
             loads[target] += walk.len();
-            shards[target].walks.push(walk.clone());
+            shards[target].push_walk(walk.clone());
         }
         shards
     }
@@ -152,6 +180,27 @@ mod tests {
         let q = c.occurrence_distribution();
         assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!((q[3] - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_counters_match_rescan() {
+        let mut c = Corpus::new(5);
+        c.push_walk(vec![0, 1, 1]);
+        c.push_walk(vec![4]);
+        let mut other = Corpus::new(5);
+        other.push_walk(vec![1, 4, 4, 2]);
+        c.extend(other);
+        let mut expected = vec![0u64; 5];
+        for walk in c.walks() {
+            for &v in walk {
+                expected[v as usize] += 1;
+            }
+        }
+        assert_eq!(c.frequencies(), expected.as_slice());
+        assert_eq!(
+            c.total_tokens(),
+            c.walks().iter().map(|w| w.len()).sum::<usize>()
+        );
     }
 
     #[test]
@@ -186,7 +235,7 @@ mod tests {
     }
 
     #[test]
-    fn split_balances_tokens() {
+    fn split_balances_tokens_and_counters() {
         let c = Corpus::from_walks(vec![vec![0; 10], vec![1; 10], vec![2; 2], vec![3; 2]], 4);
         let shards = c.split(2);
         assert_eq!(shards.len(), 2);
@@ -194,5 +243,10 @@ mod tests {
         let t1 = shards[1].total_tokens();
         assert_eq!(t0 + t1, 24);
         assert!((t0 as i64 - t1 as i64).abs() <= 2);
+        // Shard counters must add back up to the original.
+        let merged: Vec<u64> = (0..4)
+            .map(|v| shards.iter().map(|s| s.frequencies()[v]).sum())
+            .collect();
+        assert_eq!(merged, c.node_frequencies());
     }
 }

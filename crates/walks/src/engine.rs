@@ -15,13 +15,12 @@
 //! Routine (fixed `L`, fixed `r`) configurations skip the measurement
 //! entirely and exchange 32-byte messages, reproducing KnightKing.
 
-use std::collections::HashMap;
-
 use distger_cluster::{run_bsp, CommStats, Outbox};
 use distger_graph::{stats::degree_distribution, CsrGraph, NodeId};
 use distger_partition::Partitioning;
 
 use crate::corpus::Corpus;
+use crate::freq::{FreqBackend, FreqStore};
 use crate::info::{relative_entropy, FullPathInfo, IncrementalInfo, WalkCountController};
 use crate::message::{InfoPayload, WalkerMessage};
 use crate::models::{propose_next, LengthPolicy, WalkCountPolicy, WalkModel};
@@ -47,6 +46,11 @@ pub struct WalkEngineConfig {
     pub walks_per_node: WalkCountPolicy,
     /// Measurement mode (only relevant when `length` is information-driven).
     pub info_mode: InfoMode,
+    /// Which machine-local frequency-store implementation backs InCoM.
+    /// [`FreqBackend::Flat`] is the optimized default;
+    /// [`FreqBackend::NestedReference`] retains the original nested-`HashMap`
+    /// path for equivalence tests and benchmarks.
+    pub freq_backend: FreqBackend,
     /// Seed for all stochastic choices.
     pub seed: u64,
     /// Safety cap on BSP supersteps per round.
@@ -62,6 +66,7 @@ impl WalkEngineConfig {
             length: LengthPolicy::routine(),
             walks_per_node: WalkCountPolicy::routine(),
             info_mode: InfoMode::Incremental,
+            freq_backend: FreqBackend::Flat,
             seed: 0,
             max_supersteps: 1_000_000,
         }
@@ -75,6 +80,7 @@ impl WalkEngineConfig {
             length: LengthPolicy::info_driven_default(),
             walks_per_node: WalkCountPolicy::info_driven_default(),
             info_mode: InfoMode::FullPath,
+            freq_backend: FreqBackend::Flat,
             seed: 0,
             max_supersteps: 1_000_000,
         }
@@ -103,6 +109,12 @@ impl WalkEngineConfig {
         self
     }
 
+    /// Builder-style frequency-store backend override.
+    pub fn with_freq_backend(mut self, backend: FreqBackend) -> Self {
+        self.freq_backend = backend;
+        self
+    }
+
     fn needs_info(&self) -> bool {
         self.length.needs_info()
     }
@@ -119,8 +131,15 @@ pub struct WalkResult {
     pub rounds: usize,
     /// Relative entropy `D_r(p‖q)` after each round (Eq. 6), cumulative corpus.
     pub relative_entropy_trace: Vec<f64>,
-    /// Estimated per-machine sampling-phase memory in bytes (walker state,
-    /// frequency lists, corpus shards), averaged over machines.
+    /// Peak transient walker state (segment arenas plus frequency lists) of
+    /// the worst round, averaged over machines — this memory is released at
+    /// every round boundary.
+    pub walker_peak_bytes: usize,
+    /// End-of-run corpus residency per machine (the accumulated corpus,
+    /// divided evenly over machines).
+    pub corpus_shard_bytes: usize,
+    /// Estimated per-machine sampling-phase memory in bytes: transient
+    /// walker state plus the resident corpus shard.
     pub avg_machine_memory_bytes: usize,
 }
 
@@ -131,33 +150,62 @@ impl WalkResult {
     }
 }
 
+/// One maximal stretch of a walk executed on a single machine: `len` nodes
+/// accepted consecutively starting at walk step `start_step`, stored
+/// contiguously in the machine's node arena at `offset`.
+///
+/// This replaces the seed's per-step `(walk_id, step, node)` triples: a walk
+/// that runs `k` local steps costs one header plus `k` node ids instead of
+/// `k` 16-byte tuples, and corpus assembly moves whole slices.
+struct SegRun {
+    walk_id: u64,
+    start_step: u32,
+    len: u32,
+    offset: usize,
+}
+
 /// Per-machine mutable state during a round.
 struct MachineState {
-    /// `(walk_id, step, node)` triples recorded where the node was accepted.
-    segments: Vec<(u64, u32, NodeId)>,
+    /// Arena of accepted node ids, in acceptance order.
+    seg_nodes: Vec<NodeId>,
+    /// One entry per local run, indexing into `seg_nodes`.
+    seg_runs: Vec<SegRun>,
     /// InCoM local frequency lists: per ongoing walk, the occurrence counts of
     /// nodes local to this machine.
-    local_freq: HashMap<u64, HashMap<NodeId, u32>>,
+    freq: FreqStore,
     /// Peak memory estimate for this machine during the round.
     peak_memory_bytes: usize,
 }
 
 impl MachineState {
-    fn new() -> Self {
+    fn new(backend: FreqBackend) -> Self {
         Self {
-            segments: Vec::new(),
-            local_freq: HashMap::new(),
+            seg_nodes: Vec::new(),
+            seg_runs: Vec::new(),
+            freq: FreqStore::new(backend),
             peak_memory_bytes: 0,
         }
     }
 
+    /// Closes the run opened at `offset` for `walk_id` (no-op when the run
+    /// recorded no node, which cannot happen in practice: a walker always
+    /// accepts its arrival node first).
+    fn finish_run(&mut self, walk_id: u64, start_step: u32, offset: usize) {
+        let len = (self.seg_nodes.len() - offset) as u32;
+        if len > 0 {
+            self.seg_runs.push(SegRun {
+                walk_id,
+                start_step,
+                len,
+                offset,
+            });
+        }
+    }
+
     fn update_memory_estimate(&mut self) {
-        let freq_bytes: usize = self
-            .local_freq
-            .values()
-            .map(|m| m.len() * (std::mem::size_of::<NodeId>() + 4) + 48)
-            .sum();
-        let seg_bytes = self.segments.len() * std::mem::size_of::<(u64, u32, NodeId)>();
+        let freq_bytes = self.freq.memory_bytes();
+        let seg_bytes = self.seg_nodes.len() * std::mem::size_of::<NodeId>()
+            + self.seg_runs.len() * std::mem::size_of::<SegRun>();
         self.peak_memory_bytes = self.peak_memory_bytes.max(freq_bytes + seg_bytes);
     }
 }
@@ -181,7 +229,7 @@ pub fn run_distributed_walks(
     let mut corpus = Corpus::new(n);
     let mut comm = CommStats::new();
     let mut trace = Vec::new();
-    let mut peak_memory_sum = 0usize;
+    let mut peak_round_memory = 0usize;
 
     let degree_dist = degree_distribution(graph);
 
@@ -202,7 +250,7 @@ pub fn run_distributed_walks(
     loop {
         let round_result = run_round(graph, partitioning, config, round as u64);
         comm.merge(&round_result.comm);
-        peak_memory_sum += round_result.peak_memory_sum;
+        peak_round_memory = peak_round_memory.max(round_result.peak_memory_sum);
         corpus.extend(round_result.corpus);
 
         round += 1;
@@ -220,15 +268,23 @@ pub fn run_distributed_walks(
         }
     }
 
-    let avg_machine_memory_bytes =
-        (peak_memory_sum + corpus.memory_bytes()) / num_machines.max(1) / round.max(1);
+    // `peak_round_memory` is the worst round's machine-summed transient
+    // walker state, so a genuine peak only needs averaging over machines;
+    // the corpus is *resident* at end of run and must likewise only be
+    // divided across machines (the seed divided corpus residency by the
+    // round count too, understating per-machine memory by a factor of
+    // `rounds`).
+    let walker_peak_bytes = peak_round_memory / num_machines.max(1);
+    let corpus_shard_bytes = corpus.memory_bytes() / num_machines.max(1);
 
     WalkResult {
         corpus,
         comm,
         rounds: round,
         relative_entropy_trace: trace,
-        avg_machine_memory_bytes,
+        walker_peak_bytes,
+        corpus_shard_bytes,
+        avg_machine_memory_bytes: walker_peak_bytes + corpus_shard_bytes,
     }
 }
 
@@ -249,7 +305,13 @@ fn run_round(
     let num_machines = partitioning.num_machines();
 
     // One fresh walker per node, delivered to the machine owning its source.
-    let mut inboxes: Vec<Vec<WalkerMessage>> = (0..num_machines).map(|_| Vec::new()).collect();
+    // Round-0 inboxes are pre-sized from the partition's node counts so the
+    // seeding loop never reallocates.
+    let mut inboxes: Vec<Vec<WalkerMessage>> = partitioning
+        .node_counts()
+        .into_iter()
+        .map(Vec::with_capacity)
+        .collect();
     for u in 0..n as NodeId {
         let walk_id = round * n as u64 + u as u64;
         let info = if config.needs_info() {
@@ -270,7 +332,9 @@ fn run_round(
         });
     }
 
-    let states: Vec<MachineState> = (0..num_machines).map(|_| MachineState::new()).collect();
+    let states: Vec<MachineState> = (0..num_machines)
+        .map(|_| MachineState::new(config.freq_backend))
+        .collect();
     let outcome = run_bsp(
         states,
         inboxes,
@@ -283,21 +347,53 @@ fn run_round(
         },
     );
 
-    // Assemble the corpus from the per-machine segments.
-    let mut per_walk: Vec<Vec<(u32, NodeId)>> = vec![Vec::new(); n];
+    // Assemble the corpus from the per-machine local runs with a counting
+    // sort over walk ids: count tokens and runs per walk, prefix-sum into
+    // bucket offsets, scatter run references, then concatenate each walk's
+    // few runs ordered by start step. No per-step tuples, no per-token sort.
     let mut peak_memory_sum = 0usize;
+    let mut token_counts = vec![0u32; n];
+    let mut run_counts = vec![0u32; n];
     for state in &outcome.states {
         peak_memory_sum += state.peak_memory_bytes;
-        for &(walk_id, step, node) in &state.segments {
-            let local_id = (walk_id - round * n as u64) as usize;
-            per_walk[local_id].push((step, node));
+        for run in &state.seg_runs {
+            let local_id = (run.walk_id - round * n as u64) as usize;
+            token_counts[local_id] += run.len;
+            run_counts[local_id] += 1;
         }
     }
+    let mut run_offsets = vec![0u32; n + 1];
+    for w in 0..n {
+        run_offsets[w + 1] = run_offsets[w] + run_counts[w];
+    }
+    // (start_step, machine, run index) per run, bucketed by walk.
+    let mut buckets = vec![(0u32, 0u32, 0u32); run_offsets[n] as usize];
+    let mut cursors = run_offsets.clone();
+    for (machine, state) in outcome.states.iter().enumerate() {
+        for (run_idx, run) in state.seg_runs.iter().enumerate() {
+            let local_id = (run.walk_id - round * n as u64) as usize;
+            let slot = cursors[local_id];
+            buckets[slot as usize] = (run.start_step, machine as u32, run_idx as u32);
+            cursors[local_id] += 1;
+        }
+    }
+
     let mut corpus = Corpus::new(n);
-    for mut steps in per_walk {
-        steps.sort_unstable_by_key(|&(s, _)| s);
-        debug_assert!(steps.windows(2).all(|w| w[0].0 + 1 == w[1].0));
-        corpus.push_walk(steps.into_iter().map(|(_, v)| v).collect());
+    for w in 0..n {
+        let bucket = &mut buckets[run_offsets[w] as usize..run_offsets[w + 1] as usize];
+        // A walk's run count equals its machine-hop count + 1 — a handful,
+        // for which sort_unstable already degenerates to insertion sort.
+        bucket.sort_unstable_by_key(|run| run.0);
+        let mut walk = Vec::with_capacity(token_counts[w] as usize);
+        for &(start_step, machine, run_idx) in bucket.iter() {
+            let run = &outcome.states[machine as usize].seg_runs[run_idx as usize];
+            debug_assert_eq!(start_step as usize, walk.len(), "runs must tile the walk");
+            walk.extend_from_slice(
+                &outcome.states[machine as usize].seg_nodes
+                    [run.offset..run.offset + run.len as usize],
+            );
+        }
+        corpus.push_walk(walk);
     }
 
     RoundResult {
@@ -308,6 +404,12 @@ fn run_round(
 }
 
 /// Processes one walker on `machine` until it terminates or hops away.
+///
+/// All nodes the walker accepts here are appended contiguously to the
+/// machine's node arena and closed into a single [`SegRun`] on exit, so the
+/// steady-state cost per accepted node is one arena push plus one frequency
+/// probe — no per-step tuples, no hashing of the walk id beyond the single
+/// flat-directory lookup.
 fn process_walker(
     graph: &CsrGraph,
     partitioning: &Partitioning,
@@ -318,21 +420,21 @@ fn process_walker(
     outbox: &mut Outbox<WalkerMessage>,
 ) {
     let mut rng = SplitMix64::from_state(msg.rng_state);
+    let walk_id = msg.walk_id;
+    let start_step = msg.step;
+    let run_offset = state.seg_nodes.len();
     loop {
         // Accept `msg.cur` on this machine.
         debug_assert_eq!(partitioning.machine_of(msg.cur), machine);
-        state.segments.push((msg.walk_id, msg.step, msg.cur));
+        state.seg_nodes.push(msg.cur);
         let length = msg.step as u64 + 1;
 
         let r_squared = match &mut msg.info {
             InfoPayload::None => 1.0,
             InfoPayload::FullPath(fp) => fp.accept(msg.cur).r_squared,
             InfoPayload::Incremental(inc) => {
-                let counts = state.local_freq.entry(msg.walk_id).or_default();
-                let prev = counts.get(&msg.cur).copied().unwrap_or(0) as u64;
-                let snap = inc.accept(prev);
-                *counts.entry(msg.cur).or_insert(0) += 1;
-                snap.r_squared
+                let prev = state.freq.accept(walk_id, msg.cur) as u64;
+                inc.accept(prev).r_squared
             }
         };
 
@@ -347,15 +449,22 @@ fn process_walker(
         if terminate {
             // The walk is finished; its local frequency list is no longer
             // needed on this machine (§3.1).
-            state.local_freq.remove(&msg.walk_id);
+            if matches!(msg.info, InfoPayload::Incremental(_)) {
+                state.freq.release(walk_id);
+            }
+            state.finish_run(walk_id, start_step, run_offset);
             return;
         }
 
         let next = match propose_next(&config.model, graph, msg.prev, msg.cur, &mut rng) {
             Some(v) => v,
             None => {
-                state.local_freq.remove(&msg.walk_id);
-                return; // dead end (isolated or sink node)
+                // Dead end (isolated or sink node).
+                if matches!(msg.info, InfoPayload::Incremental(_)) {
+                    state.freq.release(walk_id);
+                }
+                state.finish_run(walk_id, start_step, run_offset);
+                return;
             }
         };
 
@@ -367,6 +476,7 @@ fn process_walker(
             outbox.record_local_step();
             // keep walking locally
         } else {
+            state.finish_run(walk_id, start_step, run_offset);
             msg.rng_state = rng.state();
             outbox.send(dest, msg);
             return;

@@ -1,0 +1,412 @@
+//! Machine-local walk-frequency storage for InCoM (§3.1).
+//!
+//! Every machine keeps, per walk currently executing on it, the occurrence
+//! counts of the nodes that walk accepted locally — the "local frequency
+//! lists" of Figure 2. The walk engine queries and bumps one `(walk, node)`
+//! count per accepted node, and drops a walk's whole list the moment the
+//! walk terminates, so the access pattern is:
+//!
+//! * `accept(walk, node)` — extremely hot, once per accepted node;
+//! * `release(walk)` — once per walk termination.
+//!
+//! [`FlatFreqStore`] serves this pattern with a single open-addressed
+//! directory (walk id → list handle, hashed with a SplitMix-style finalizer
+//! instead of std's SipHash) over a pool of compact `(node, count)` lists
+//! that are recycled through a free-list when walks terminate. In steady
+//! state `accept` touches one directory slot plus one short contiguous list
+//! and allocates nothing.
+//!
+//! [`NestedFreqStore`] is the seed's original
+//! `HashMap<walk, HashMap<node, count>>` representation, retained as a
+//! reference implementation: property tests assert the two produce
+//! byte-identical corpora, and the throughput benchmark measures the
+//! speedup.
+
+use crate::rng::mix64;
+use distger_graph::NodeId;
+use std::collections::HashMap;
+
+/// Empty-slot marker in the directory. Walk ids are `round · |V| + source`,
+/// which never reaches `u64::MAX` in practice.
+const EMPTY: u64 = u64::MAX;
+
+/// Minimum directory capacity (power of two).
+const MIN_CAPACITY: usize = 16;
+
+/// SplitMix64-style finalizer: cheap, statistically strong scrambling of
+/// sequential walk ids (std's default SipHash costs ~10× more per probe).
+#[inline]
+fn mix(walk_id: u64) -> u64 {
+    mix64(walk_id.wrapping_add(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Flat per-machine frequency store: open-addressed walk directory plus
+/// recycled compact count lists.
+#[derive(Clone, Debug, Default)]
+pub struct FlatFreqStore {
+    /// Directory keys (walk ids), `EMPTY` marks a free slot.
+    keys: Vec<u64>,
+    /// Directory values: index into `lists`, parallel to `keys`.
+    handles: Vec<u32>,
+    /// Number of occupied directory slots.
+    occupied: usize,
+    /// Per-walk `(node, count)` lists; cleared lists keep their capacity.
+    lists: Vec<Vec<(NodeId, u32)>>,
+    /// Indices of `lists` entries available for reuse.
+    free: Vec<u32>,
+}
+
+impl FlatFreqStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.keys.len() - 1
+    }
+
+    /// Index of `walk_id`'s directory slot, or of the empty slot where it
+    /// would be inserted.
+    #[inline]
+    fn probe(&self, walk_id: u64) -> usize {
+        let mask = self.mask();
+        let mut i = (mix(walk_id) as usize) & mask;
+        loop {
+            let k = self.keys[i];
+            if k == walk_id || k == EMPTY {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.keys.len() * 2).max(MIN_CAPACITY);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let old_handles = std::mem::replace(&mut self.handles, vec![0; new_cap]);
+        for (k, h) in old_keys.into_iter().zip(old_handles) {
+            if k != EMPTY {
+                let slot = self.probe(k);
+                self.keys[slot] = k;
+                self.handles[slot] = h;
+            }
+        }
+    }
+
+    /// Records that `walk_id` accepted `node` on this machine and returns the
+    /// number of times the walk had accepted that node here **before** this
+    /// acceptance (the `n_L` input of Theorem 1).
+    pub fn accept(&mut self, walk_id: u64, node: NodeId) -> u32 {
+        if self.keys.is_empty() {
+            self.grow();
+        }
+        let mut slot = self.probe(walk_id);
+        let list_idx = if self.keys[slot] == EMPTY {
+            // Grow only when actually inserting, keeping the load factor
+            // below 7/8; pure lookups never trigger a rehash.
+            if (self.occupied + 1) * 8 > self.keys.len() * 7 {
+                self.grow();
+                slot = self.probe(walk_id);
+            }
+            self.keys[slot] = walk_id;
+            self.occupied += 1;
+            let idx = match self.free.pop() {
+                Some(idx) => idx,
+                None => {
+                    self.lists.push(Vec::new());
+                    (self.lists.len() - 1) as u32
+                }
+            };
+            self.handles[slot] = idx;
+            idx
+        } else {
+            self.handles[slot]
+        };
+        let list = &mut self.lists[list_idx as usize];
+        // Walks are short (≤ 80 nodes), so a linear scan over the compact
+        // list is cache-friendly and cheaper than any per-walk hashing.
+        for entry in list.iter_mut() {
+            if entry.0 == node {
+                let prev = entry.1;
+                entry.1 += 1;
+                return prev;
+            }
+        }
+        list.push((node, 1));
+        0
+    }
+
+    /// Drops `walk_id`'s frequency list (the walk terminated, §3.1); its
+    /// allocation is recycled for future walks. A no-op for unknown walks.
+    pub fn release(&mut self, walk_id: u64) {
+        if self.keys.is_empty() {
+            return;
+        }
+        let slot = self.probe(walk_id);
+        if self.keys[slot] == EMPTY {
+            return;
+        }
+        let list_idx = self.handles[slot];
+        self.lists[list_idx as usize].clear();
+        self.free.push(list_idx);
+        self.occupied -= 1;
+
+        // Backward-shift deletion keeps probe chains intact without
+        // tombstones: slide later chain members into the hole.
+        let mask = self.mask();
+        let mut hole = slot;
+        let mut i = (slot + 1) & mask;
+        while self.keys[i] != EMPTY {
+            let home = (mix(self.keys[i]) as usize) & mask;
+            // `i` can fill the hole iff its home position does not lie
+            // (cyclically) strictly between the hole and `i`.
+            let between = if hole <= i {
+                hole < home && home <= i
+            } else {
+                hole < home || home <= i
+            };
+            if !between {
+                self.keys[hole] = self.keys[i];
+                self.handles[hole] = self.handles[i];
+                self.keys[i] = EMPTY;
+                hole = i;
+            }
+            i = (i + 1) & mask;
+        }
+        self.keys[hole] = EMPTY;
+    }
+
+    /// Number of walks with a live frequency list.
+    pub fn active_walks(&self) -> usize {
+        self.occupied
+    }
+
+    /// Estimated resident bytes (directory plus count-list pool).
+    pub fn memory_bytes(&self) -> usize {
+        self.keys.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
+            + self
+                .lists
+                .iter()
+                .map(|l| l.capacity() * std::mem::size_of::<(NodeId, u32)>())
+                .sum::<usize>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// The seed's nested-`HashMap` frequency store, retained as the reference
+/// path for equivalence tests and benchmark comparisons.
+#[derive(Clone, Debug, Default)]
+pub struct NestedFreqStore {
+    map: HashMap<u64, HashMap<NodeId, u32>>,
+}
+
+impl NestedFreqStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// See [`FlatFreqStore::accept`].
+    pub fn accept(&mut self, walk_id: u64, node: NodeId) -> u32 {
+        let counts = self.map.entry(walk_id).or_default();
+        let entry = counts.entry(node).or_insert(0);
+        let prev = *entry;
+        *entry += 1;
+        prev
+    }
+
+    /// See [`FlatFreqStore::release`].
+    pub fn release(&mut self, walk_id: u64) {
+        self.map.remove(&walk_id);
+    }
+
+    /// Number of walks with a live frequency list.
+    pub fn active_walks(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Estimated resident bytes (matches the seed's accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.map
+            .values()
+            .map(|m| m.len() * (std::mem::size_of::<NodeId>() + 4) + 48)
+            .sum()
+    }
+}
+
+/// Which frequency-store implementation the walk engine uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FreqBackend {
+    /// The flat open-addressed store (the optimized hot path).
+    #[default]
+    Flat,
+    /// The seed's nested-`HashMap` store (reference path for tests and
+    /// benchmarks).
+    NestedReference,
+}
+
+/// A frequency store of either backend, dispatching statically per call via
+/// a two-way match (the branch is perfectly predicted in the hot loop).
+#[derive(Clone, Debug)]
+pub enum FreqStore {
+    /// Flat open-addressed backend.
+    Flat(FlatFreqStore),
+    /// Nested-`HashMap` reference backend.
+    Nested(NestedFreqStore),
+}
+
+impl FreqStore {
+    /// Creates an empty store of the requested backend.
+    pub fn new(backend: FreqBackend) -> Self {
+        match backend {
+            FreqBackend::Flat => FreqStore::Flat(FlatFreqStore::new()),
+            FreqBackend::NestedReference => FreqStore::Nested(NestedFreqStore::new()),
+        }
+    }
+
+    /// See [`FlatFreqStore::accept`].
+    #[inline]
+    pub fn accept(&mut self, walk_id: u64, node: NodeId) -> u32 {
+        match self {
+            FreqStore::Flat(s) => s.accept(walk_id, node),
+            FreqStore::Nested(s) => s.accept(walk_id, node),
+        }
+    }
+
+    /// See [`FlatFreqStore::release`].
+    #[inline]
+    pub fn release(&mut self, walk_id: u64) {
+        match self {
+            FreqStore::Flat(s) => s.release(walk_id),
+            FreqStore::Nested(s) => s.release(walk_id),
+        }
+    }
+
+    /// Number of walks with a live frequency list.
+    pub fn active_walks(&self) -> usize {
+        match self {
+            FreqStore::Flat(s) => s.active_walks(),
+            FreqStore::Nested(s) => s.active_walks(),
+        }
+    }
+
+    /// Estimated resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            FreqStore::Flat(s) => s.memory_bytes(),
+            FreqStore::Nested(s) => s.memory_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_counts_per_walk_and_node() {
+        let mut s = FlatFreqStore::new();
+        assert_eq!(s.accept(7, 3), 0);
+        assert_eq!(s.accept(7, 3), 1);
+        assert_eq!(s.accept(7, 3), 2);
+        assert_eq!(s.accept(7, 4), 0);
+        assert_eq!(s.accept(8, 3), 0, "walks are independent");
+        assert_eq!(s.active_walks(), 2);
+    }
+
+    #[test]
+    fn release_forgets_and_recycles() {
+        let mut s = FlatFreqStore::new();
+        s.accept(1, 10);
+        s.accept(1, 10);
+        s.accept(2, 10);
+        s.release(1);
+        assert_eq!(s.active_walks(), 1);
+        assert_eq!(s.accept(1, 10), 0, "released walk restarts from zero");
+        // Walk 2 is untouched by walk 1's release.
+        assert_eq!(s.accept(2, 10), 1);
+        // Releasing an unknown walk is a no-op.
+        s.release(99);
+        assert_eq!(s.active_walks(), 2);
+    }
+
+    #[test]
+    fn growth_keeps_all_counts() {
+        let mut s = FlatFreqStore::new();
+        for walk in 0..1000u64 {
+            for node in 0..4u32 {
+                s.accept(walk, node);
+            }
+            s.accept(walk, 0);
+        }
+        assert_eq!(s.active_walks(), 1000);
+        for walk in 0..1000u64 {
+            assert_eq!(s.accept(walk, 0), 2, "walk {walk} lost its count");
+            assert_eq!(s.accept(walk, 3), 1);
+        }
+    }
+
+    #[test]
+    fn interleaved_release_preserves_probe_chains() {
+        // Many walks, released in an order designed to exercise the
+        // backward-shift deletion across wrapped probe chains.
+        let mut s = FlatFreqStore::new();
+        let walks: Vec<u64> = (0..500).map(|i| i * 17 + 3).collect();
+        for &w in &walks {
+            s.accept(w, (w % 50) as NodeId);
+        }
+        for &w in walks.iter().step_by(2) {
+            s.release(w);
+        }
+        for &w in walks.iter().skip(1).step_by(2) {
+            assert_eq!(s.accept(w, (w % 50) as NodeId), 1, "walk {w} lost");
+        }
+        for &w in walks.iter().step_by(2) {
+            assert_eq!(s.accept(w, (w % 50) as NodeId), 0, "walk {w} leaked");
+        }
+    }
+
+    #[test]
+    fn flat_matches_nested_reference_on_random_workload() {
+        let mut flat = FlatFreqStore::new();
+        let mut nested = NestedFreqStore::new();
+        let mut state = 42u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..20_000 {
+            let r = rand();
+            let walk = r % 97;
+            let node = (rand() % 13) as NodeId;
+            if r % 31 == 0 {
+                flat.release(walk);
+                nested.release(walk);
+            } else {
+                assert_eq!(flat.accept(walk, node), nested.accept(walk, node));
+            }
+        }
+        assert_eq!(flat.active_walks(), nested.active_walks());
+    }
+
+    #[test]
+    fn memory_accounting_is_positive_and_bounded() {
+        let mut s = FlatFreqStore::new();
+        for walk in 0..64u64 {
+            for node in 0..8u32 {
+                s.accept(walk, node);
+            }
+        }
+        let full = s.memory_bytes();
+        assert!(full > 0);
+        for walk in 0..64u64 {
+            s.release(walk);
+        }
+        // Released lists keep their capacity (they are pooled), so memory
+        // does not shrink — but it must not grow either.
+        assert!(s.memory_bytes() <= full + 64 * std::mem::size_of::<u32>());
+        assert_eq!(s.active_walks(), 0);
+    }
+}

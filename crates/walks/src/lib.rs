@@ -23,6 +23,7 @@
 
 pub mod corpus;
 pub mod engine;
+pub mod freq;
 pub mod info;
 pub mod message;
 pub mod models;
@@ -30,4 +31,5 @@ pub mod rng;
 
 pub use corpus::Corpus;
 pub use engine::{run_distributed_walks, InfoMode, WalkEngineConfig, WalkResult};
+pub use freq::{FlatFreqStore, FreqBackend, NestedFreqStore};
 pub use models::{LengthPolicy, WalkCountPolicy, WalkModel};

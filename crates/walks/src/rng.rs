@@ -6,6 +6,17 @@
 //! every walk reproducible given `(seed, walk_id)` regardless of thread
 //! scheduling, and is far cheaper than re-seeding a `StdRng` per step.
 
+/// The SplitMix64 output finalizer: a cheap, statistically strong scrambling
+/// of a 64-bit value. Shared by [`SplitMix64`] and the flat frequency
+/// store's walk-id hashing (`crate::freq`).
+#[inline]
+pub(crate) fn mix64(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// SplitMix64 state. Copy-able so it can travel inside walker messages.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SplitMix64 {
@@ -31,10 +42,7 @@ impl SplitMix64 {
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        mix64(self.state)
     }
 
     /// Uniform `f64` in `[0, 1)`.

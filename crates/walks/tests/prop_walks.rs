@@ -4,7 +4,7 @@ use distger_graph::{GraphBuilder, NodeId};
 use distger_partition::{mpgp_partition, MpgpConfig, Partitioning};
 use distger_walks::info::{walk_entropy, FullPathInfo, IncrementalInfo};
 use distger_walks::{
-    run_distributed_walks, LengthPolicy, WalkCountPolicy, WalkEngineConfig, WalkModel,
+    run_distributed_walks, FreqBackend, LengthPolicy, WalkCountPolicy, WalkEngineConfig, WalkModel,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -82,6 +82,34 @@ proptest! {
         let p = mpgp_partition(&g, 3, MpgpConfig::default());
         let result = run_distributed_walks(&g, &p, &WalkEngineConfig::distger().with_seed(seed));
         prop_assert_eq!(result.comm.bytes, result.comm.messages * 80);
+    }
+
+    /// The flat frequency store is a pure representation change: for any
+    /// seed and machine count it must produce corpora and communication
+    /// statistics byte-identical to the seed's nested-HashMap semantics
+    /// (retained as `FreqBackend::NestedReference`) *and* to the FullPath
+    /// mode, which never consults a frequency store at all.
+    #[test]
+    fn flat_store_matches_nested_reference_and_full_path(
+        seed in 0u64..12,
+        machines in 1usize..5,
+    ) {
+        let g = distger_graph::barabasi_albert(160, 3, seed);
+        let p = mpgp_partition(&g, machines, MpgpConfig::default());
+        let flat = run_distributed_walks(&g, &p, &WalkEngineConfig::distger().with_seed(seed));
+        let nested = run_distributed_walks(
+            &g,
+            &p,
+            &WalkEngineConfig::distger()
+                .with_seed(seed)
+                .with_freq_backend(FreqBackend::NestedReference),
+        );
+        let full_path = run_distributed_walks(&g, &p, &WalkEngineConfig::huge_d().with_seed(seed));
+        prop_assert_eq!(&flat.corpus, &nested.corpus);
+        prop_assert_eq!(&flat.comm, &nested.comm);
+        prop_assert_eq!(&flat.corpus, &full_path.corpus);
+        prop_assert_eq!(flat.comm.messages, full_path.comm.messages);
+        prop_assert_eq!(flat.rounds, nested.rounds);
     }
 }
 

@@ -1,0 +1,233 @@
+//! Vendored stand-in for the subset of the `criterion` API this workspace
+//! uses. The build environment has no crates.io access, so the real crate
+//! cannot be fetched.
+//!
+//! The statistical machinery of real Criterion (outlier rejection,
+//! bootstrapping, HTML reports) is replaced by a lean timing loop: each
+//! benchmark is calibrated to a target sample duration, run `sample_size`
+//! times, and summarized as min / mean / max time per iteration on stdout.
+//! The `criterion_group!` / `criterion_main!` / `benchmark_group` /
+//! `bench_function` / `bench_with_input` / `Bencher::iter` surface matches
+//! the real crate so benches compile unchanged.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Top-level benchmark driver (a lean stand-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        let group = BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        };
+        println!("\n== {}", group.name);
+        group
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark: `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark measurement state handed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            sample_size,
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        }
+    }
+
+    /// Measures `routine`: calibrates the per-sample iteration count to
+    /// [`TARGET_SAMPLE`], then records `sample_size` samples of
+    /// time-per-iteration (seconds).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: time a single call (also serves as warm-up).
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed / iters as f64);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no measurement recorded");
+            return;
+        }
+        let min = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().copied().fold(0.0f64, f64::max);
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        println!(
+            "{group}/{id}: [{} {} {}] ({} samples x {} iters)",
+            format_time(min),
+            format_time(mean),
+            format_time(max),
+            self.samples.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+/// Formats seconds with an adaptive unit, like Criterion's output.
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Re-export matching `criterion::black_box` (benches here use
+/// `std::hint::black_box`, but the symbol is part of the public API).
+pub use std::hint::black_box;
+
+/// Defines a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` from benchmark group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(2.0), "2.000 s");
+        assert_eq!(format_time(2e-3), "2.000 ms");
+        assert_eq!(format_time(2e-6), "2.000 us");
+        assert_eq!(format_time(2e-9), "2.0 ns");
+    }
+}
