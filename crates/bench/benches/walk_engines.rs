@@ -1,17 +1,21 @@
 //! Figure 10(a) at micro scale: random-walk time of the routine KnightKing
 //! configuration, the HuGE-D full-path baseline, and DistGER's InCoM engine —
-//! plus a steps-per-second throughput comparison of the flat frequency store
-//! against the retained nested-HashMap reference path, exported to
-//! `BENCH_walks.json`.
+//! plus steps-per-second throughput comparisons of the two per-step data
+//! structures against their retained reference paths (flat vs nested-HashMap
+//! frequency store; alias-table vs linear-scan transition sampling), exported
+//! together to `BENCH_walks.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use distger_bench::json::{object, Value};
 use distger_bench::{bench_dataset, BenchScale, Report};
 use distger_graph::generate::PaperDataset;
+use distger_graph::{barabasi_albert, CsrGraph};
 use distger_partition::{
     balanced::workload_balanced_partition, mpgp_partition, MpgpConfig, Partitioning,
 };
 use distger_walks::{
-    run_distributed_walks, FreqBackend, WalkCountPolicy, WalkEngineConfig, WalkModel,
+    run_distributed_walks, FreqBackend, LengthPolicy, SamplingBackend, WalkCountPolicy,
+    WalkEngineConfig, WalkModel, WalkResult,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -62,79 +66,239 @@ fn bench_walks(c: &mut Criterion) {
 /// does not drown the per-step work), and the Default-scale Flickr stand-in
 /// with several fixed rounds yields hundreds of thousands of steps per run.
 fn bench_freq_store_throughput(c: &mut Criterion) {
-    let graph = bench_dataset(PaperDataset::Flickr, BenchScale::Default, 3);
+    let graph = freq_bench_graph();
     let partitioning = Partitioning::single_machine(graph.num_nodes());
-    let backends = [
-        ("flat", FreqBackend::Flat),
-        ("nested_reference", FreqBackend::NestedReference),
-    ];
-    let config_for = |backend| {
-        let mut config = WalkEngineConfig::distger_general(WalkModel::DeepWalk)
-            .with_seed(7)
-            .with_freq_backend(backend);
-        config.walks_per_node = WalkCountPolicy::Fixed(5);
-        config
-    };
-
     let mut group = c.benchmark_group("freq_store_steps_per_sec");
     group.sample_size(10);
-    for (label, backend) in backends {
+    for (label, backend) in FREQ_BACKENDS {
         group.bench_function(label, |b| {
             b.iter(|| {
                 black_box(run_distributed_walks(
-                    &graph,
+                    graph,
                     &partitioning,
-                    &config_for(backend),
+                    &freq_store_config(backend),
                 ))
             })
         });
     }
     group.finish();
+}
 
-    // Timed steps/sec measurement exported for the repo's records. Best of
-    // `reps` runs per backend to suppress scheduler noise.
+/// Steps-per-second throughput of the transition draw under the two
+/// sampling backends, on the skewed-weight Barabási–Albert graph where the
+/// reference linear scan is at its worst (hub-heavy degrees, full-adjacency
+/// weight sums every step).
+fn bench_transition_sampling(c: &mut Criterion) {
+    let (_, weighted) = sampling_bench_graphs();
+    let partitioning = Partitioning::single_machine(weighted.num_nodes());
+    let mut group = c.benchmark_group("transition_sampling_steps_per_sec");
+    group.sample_size(10);
+    for (label, backend) in SAMPLING_BACKENDS {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(run_distributed_walks(
+                    weighted,
+                    &partitioning,
+                    &sampling_config(backend),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+const FREQ_BACKENDS: [(&str, FreqBackend); 2] = [
+    ("flat", FreqBackend::Flat),
+    ("nested_reference", FreqBackend::NestedReference),
+];
+
+const SAMPLING_BACKENDS: [(&str, SamplingBackend); 2] = [
+    ("alias", SamplingBackend::Alias),
+    ("linear_scan", SamplingBackend::LinearScan),
+];
+
+fn freq_store_config(backend: FreqBackend) -> WalkEngineConfig {
+    let mut config = WalkEngineConfig::distger_general(WalkModel::DeepWalk)
+        .with_seed(7)
+        .with_freq_backend(backend);
+    config.walks_per_node = WalkCountPolicy::Fixed(5);
+    config
+}
+
+/// Routine DeepWalk on a single machine: no measurement, no messages — the
+/// per-step cost is almost entirely the neighbour draw under test.
+fn sampling_config(backend: SamplingBackend) -> WalkEngineConfig {
+    let mut config = WalkEngineConfig::knightking_routine(WalkModel::DeepWalk)
+        .with_seed(13)
+        .with_sampling_backend(backend);
+    config.length = LengthPolicy::Fixed(80);
+    config.walks_per_node = WalkCountPolicy::Fixed(3);
+    config
+}
+
+/// A hub-heavy Barabási–Albert graph, unweighted and with Pareto(1.5)
+/// weights, built once and shared by the criterion group and the JSON export.
+/// The scan's expected per-step cost is `E[deg²]/E[deg]`, which the BA degree
+/// tail makes much larger than the mean degree.
+fn sampling_bench_graphs() -> &'static (CsrGraph, CsrGraph) {
+    static GRAPHS: std::sync::OnceLock<(CsrGraph, CsrGraph)> = std::sync::OnceLock::new();
+    GRAPHS.get_or_init(|| {
+        let unweighted = barabasi_albert(4_000, 16, 11);
+        let weighted = unweighted.with_skewed_weights(1.5, 11);
+        (unweighted, weighted)
+    })
+}
+
+/// The Default-scale Flickr stand-in shared by the frequency-store criterion
+/// group and the JSON export.
+fn freq_bench_graph() -> &'static CsrGraph {
+    static GRAPH: std::sync::OnceLock<CsrGraph> = std::sync::OnceLock::new();
+    GRAPH.get_or_init(|| bench_dataset(PaperDataset::Flickr, BenchScale::Default, 3))
+}
+
+/// Best-of-`reps` timed run; returns `(best_secs, result_of_best_rep)`.
+fn best_of(
+    reps: usize,
+    graph: &CsrGraph,
+    partitioning: &Partitioning,
+    config: &WalkEngineConfig,
+) -> (f64, WalkResult) {
+    let mut best: Option<(f64, WalkResult)> = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let result = black_box(run_distributed_walks(graph, partitioning, config));
+        let secs = start.elapsed().as_secs_f64();
+        // Keep (time, result) as a pair from the same rep so derived ratios
+        // stay meaningful even if the config ever turns nondeterministic.
+        if best.as_ref().is_none_or(|(b, _)| secs < *b) {
+            best = Some((secs, result));
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Timed steps/sec measurements exported for the repo's records
+/// (`BENCH_walks.json`): the frequency-store comparison from PR 1 and the
+/// alias-vs-linear transition-sampling comparison, on both an unweighted and
+/// a skewed-weight Barabási–Albert graph.
+fn export_reports(_c: &mut Criterion) {
     let reps = 5;
-    let mut report = Report::new(
-        "bench_walks",
+
+    // Part 1: flat vs nested frequency store (InCoM measurement path).
+    let graph = freq_bench_graph();
+    let partitioning = Partitioning::single_machine(graph.num_nodes());
+    let mut freq_report = Report::new(
+        "freq_store",
         "InCoM sampler throughput: flat vs nested-HashMap frequency store",
         &["steps_per_sec", "total_steps", "best_secs"],
     );
-    let mut per_backend = Vec::new();
-    for (label, backend) in backends {
-        let config = config_for(backend);
-        let mut best_secs = f64::INFINITY;
-        let mut total_steps = 0u64;
-        for _ in 0..reps {
-            let start = Instant::now();
-            let result = black_box(run_distributed_walks(&graph, &partitioning, &config));
-            let secs = start.elapsed().as_secs_f64();
-            // Keep (time, steps) as a pair from the same rep so the ratio
-            // stays meaningful even if the config ever turns nondeterministic.
-            if secs < best_secs {
-                best_secs = secs;
-                total_steps = result.comm.total_steps();
-            }
-        }
+    let mut freq_rates = Vec::new();
+    for (label, backend) in FREQ_BACKENDS {
+        let (best_secs, result) = best_of(reps, graph, &partitioning, &freq_store_config(backend));
+        let total_steps = result.comm.total_steps();
         let steps_per_sec = total_steps as f64 / best_secs;
         println!(
             "freq_store_throughput/{label}: {steps_per_sec:.0} steps/s \
              ({total_steps} steps in {best_secs:.4}s best of {reps})"
         );
-        report.push(label, vec![steps_per_sec, total_steps as f64, best_secs]);
-        per_backend.push((label, steps_per_sec));
+        freq_report.push(label, vec![steps_per_sec, total_steps as f64, best_secs]);
+        freq_rates.push(steps_per_sec);
     }
-    if let [(_, flat), (_, nested)] = per_backend[..] {
+    if let [flat, nested] = freq_rates[..] {
         println!(
             "freq_store_throughput: flat/nested speedup = {:.2}x",
             flat / nested
         );
     }
+
+    // Part 2: alias tables vs linear scan (transition draw).
+    let (unweighted, weighted) = sampling_bench_graphs();
+    let partitioning = Partitioning::single_machine(unweighted.num_nodes());
+    let mut sampling_report = Report::new(
+        "transition_sampling",
+        "Transition-draw throughput: alias tables vs linear scan \
+         (Barabási–Albert n=4000 m=16, Pareto(1.5) weights)",
+        &[
+            "steps_per_sec",
+            "total_steps",
+            "best_secs",
+            "table_build_secs",
+            "table_bytes",
+        ],
+    );
+    let mut speedup_report = Report::new(
+        "transition_sampling_speedup",
+        "Alias-over-linear steps/sec ratio per graph",
+        &["alias_over_linear"],
+    );
+    for (graph_label, g) in [("unweighted_ba", unweighted), ("skewed_ba", weighted)] {
+        let mut rates = Vec::new();
+        for (label, backend) in SAMPLING_BACKENDS {
+            let (best_secs, result) = best_of(reps, g, &partitioning, &sampling_config(backend));
+            let total_steps = result.comm.total_steps();
+            // The run times the whole engine including the one-time table
+            // construction; subtract it so `steps_per_sec` measures the draw
+            // throughput the column claims (the build cost is reported
+            // separately in `table_build_secs`).
+            let draw_secs = (best_secs - result.alias_build_secs).max(f64::EPSILON);
+            let steps_per_sec = total_steps as f64 / draw_secs;
+            println!(
+                "transition_sampling/{label}@{graph_label}: {steps_per_sec:.0} steps/s \
+                 ({total_steps} steps in {best_secs:.4}s, table {} bytes built in {:.4}s)",
+                result.alias_table_bytes, result.alias_build_secs
+            );
+            sampling_report.push(
+                format!("{label}@{graph_label}"),
+                vec![
+                    steps_per_sec,
+                    total_steps as f64,
+                    best_secs,
+                    result.alias_build_secs,
+                    result.alias_table_bytes as f64,
+                ],
+            );
+            rates.push(steps_per_sec);
+        }
+        if let [alias, linear] = rates[..] {
+            println!(
+                "transition_sampling@{graph_label}: alias/linear speedup = {:.2}x",
+                alias / linear
+            );
+            speedup_report.push(graph_label, vec![alias / linear]);
+        }
+    }
+
+    let combined = object([
+        ("id", Value::from("bench_walks".to_string())),
+        (
+            "title",
+            Value::from(
+                "Walk-engine hot-path throughput: optimized vs reference backends".to_string(),
+            ),
+        ),
+        (
+            "reports",
+            Value::Array(vec![
+                freq_report.to_json(),
+                sampling_report.to_json(),
+                speedup_report.to_json(),
+            ]),
+        ),
+    ]);
     // Benches run with the package directory as cwd; anchor the report at
     // the workspace root.
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_walks.json");
-    std::fs::write(&out, report.to_json().to_string_pretty()).expect("write BENCH_walks.json");
-    println!("{}", report.to_text());
+    std::fs::write(&out, combined.to_string_pretty()).expect("write BENCH_walks.json");
+    println!("{}", freq_report.to_text());
+    println!("{}", sampling_report.to_text());
+    println!("{}", speedup_report.to_text());
 }
 
-criterion_group!(benches, bench_walks, bench_freq_store_throughput);
+criterion_group!(
+    benches,
+    bench_walks,
+    bench_freq_store_throughput,
+    bench_transition_sampling,
+    export_reports
+);
 criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Bulk Synchronous Parallel execution over simulated machines.
 //!
-//! KnightKing (§2.2) coordinates walkers with the BSP model [56]: in every
+//! KnightKing (§2.2) coordinates walkers with the BSP model \[56\]: in every
 //! superstep each machine processes the messages addressed to it and emits
 //! messages for the next superstep; machines synchronize at the superstep
 //! boundary. [`run_bsp`] reproduces this scheme with one OS thread per

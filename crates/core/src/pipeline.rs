@@ -10,7 +10,7 @@ use distger_partition::{
     ldg::ldg_default,
     mpgp_partition, parallel_mpgp_partition, MpgpConfig, Partitioning,
 };
-use distger_walks::{run_distributed_walks, WalkEngineConfig, WalkModel};
+use distger_walks::{run_distributed_walks, SamplingBackend, WalkEngineConfig, WalkModel};
 
 /// Which partitioner feeds the walk engine.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -148,6 +148,14 @@ impl DistGerConfig {
         self.walks.model = model;
         self
     }
+
+    /// Builder-style transition-sampling backend override. The default
+    /// everywhere is [`SamplingBackend::Alias`]; the reference
+    /// [`SamplingBackend::LinearScan`] is retained for A/B comparisons.
+    pub fn with_sampling_backend(mut self, backend: SamplingBackend) -> Self {
+        self.walks.sampling_backend = backend;
+        self
+    }
 }
 
 /// Everything measured during one end-to-end run.
@@ -224,7 +232,11 @@ pub fn run_pipeline(graph: &CsrGraph, config: &DistGerConfig) -> PipelineResult 
             graph.memory_bytes() / num_machines.max(1),
         )
         .add("walker state", walk_result.walker_peak_bytes)
-        .add("corpus shard", walk_result.corpus_shard_bytes);
+        .add("corpus shard", walk_result.corpus_shard_bytes)
+        .add(
+            "alias transition tables",
+            walk_result.alias_table_bytes / num_machines.max(1),
+        );
     let mut training_memory = MemoryEstimate::new();
     training_memory
         .add(

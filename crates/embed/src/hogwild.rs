@@ -1,6 +1,6 @@
 //! Lock-free shared embedding matrices (Hogwild-style).
 //!
-//! The original word2vec parallelizes SGD with Hogwild [38]: threads update
+//! The original word2vec parallelizes SGD with Hogwild \[38\]: threads update
 //! the shared parameter matrices without synchronization and tolerate the
 //! (rare, benign) races. All three trainers in this crate follow that model
 //! within a machine, so the matrices must be mutably aliasable across

@@ -1,6 +1,6 @@
 //! Pword2vec-style trainer: per-window shared negative samples (Figure 3(b)).
 //!
-//! Intel's Pword2vec [22] observes that within one sliding window the target
+//! Intel's Pword2vec \[22\] observes that within one sliding window the target
 //! node is scored against every context node, so a single negative set can be
 //! shared by all of them; this turns many level-1 (vector·vector) operations
 //! into one small matrix-matrix product. The batching here keeps the same

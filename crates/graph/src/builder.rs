@@ -53,7 +53,21 @@ impl GraphBuilder {
 
     /// Adds a weighted edge. Mixing weighted and unweighted additions marks
     /// the whole graph as weighted (missing weights default to `1.0`).
+    ///
+    /// # Panics
+    /// Panics on a negative, NaN or infinite weight. Random-walk transition
+    /// probabilities are proportional to edge weights (`P(u→v) ∝ w(u,v)`), so
+    /// such weights have no probabilistic meaning; rejecting them here keeps
+    /// every downstream sampler — the linear scan and the alias tables alike —
+    /// free of silent uniform fallbacks. A weight of exactly `0.0` is allowed
+    /// and means "this edge is never taken" (unless *all* of a node's weights
+    /// are zero, in which case samplers fall back to a uniform draw).
     pub fn add_weighted_edge(&mut self, u: NodeId, v: NodeId, w: EdgeWeight) -> &mut Self {
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "edge ({u}, {v}) has weight {w}: edge weights must be finite and \
+             non-negative (transition probabilities are proportional to weights)"
+        );
         if u == v {
             return self; // drop self-loops
         }
@@ -184,6 +198,27 @@ mod tests {
         let g = b.build();
         assert_eq!(g.num_nodes(), 6);
         assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and non-negative")]
+    fn negative_weights_are_rejected() {
+        GraphBuilder::new_undirected().add_weighted_edge(0, 1, -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and non-negative")]
+    fn nan_weights_are_rejected() {
+        GraphBuilder::new_undirected().add_weighted_edge(0, 1, f32::NAN);
+    }
+
+    #[test]
+    fn zero_weights_are_allowed() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_weighted_edge(0, 1, 0.0);
+        b.add_weighted_edge(1, 2, 2.0);
+        let g = b.build();
+        assert_eq!(g.edge_weight(0, 1), Some(0.0));
     }
 
     #[test]

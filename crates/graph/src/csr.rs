@@ -17,7 +17,10 @@ use crate::{EdgeWeight, NodeId};
 /// * offsets are non-decreasing.
 /// * every adjacency slice `targets[offsets[u]..offsets[u+1]]` is sorted.
 /// * `weights`, when present, has exactly `targets.len()` entries aligned with
-///   `targets`.
+///   `targets`, and every weight is **finite and non-negative** — random-walk
+///   transition probabilities are proportional to weights, so a negative or
+///   NaN weight has no probabilistic meaning. [`crate::GraphBuilder`] rejects
+///   such weights at insertion time; [`CsrGraph::from_parts`] re-checks them.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CsrGraph {
     offsets: Vec<usize>,
@@ -57,6 +60,11 @@ impl CsrGraph {
         );
         if let Some(w) = &weights {
             assert_eq!(w.len(), targets.len(), "weights must align with targets");
+            assert!(
+                w.iter().all(|x| x.is_finite() && *x >= 0.0),
+                "edge weights must be finite and non-negative \
+                 (transition probabilities are proportional to weights)"
+            );
         }
         let graph = Self {
             offsets,
@@ -135,6 +143,25 @@ impl CsrGraph {
         self.weights
             .as_ref()
             .map(|w| &w[self.offsets[u]..self.offsets[u + 1]])
+    }
+
+    /// Range of arc slots owned by `u` in the flat arc arrays, i.e.
+    /// `neighbors(u) == &arc_targets()[arc_range(u)]`. Lets per-arc side
+    /// tables (e.g. the walk engine's alias tables) share this graph's CSR
+    /// offsets instead of storing their own.
+    #[inline]
+    pub fn arc_range(&self, u: NodeId) -> std::ops::Range<usize> {
+        let u = u as usize;
+        self.offsets[u]..self.offsets[u + 1]
+    }
+
+    /// The full arc-aligned weight array (`None` for unweighted graphs).
+    /// Slot `i` of this array weights the arc whose destination is slot `i`
+    /// of the target array; per-node slices are addressed by
+    /// [`Self::arc_range`].
+    #[inline]
+    pub fn arc_weights(&self) -> Option<&[EdgeWeight]> {
+        self.weights.as_deref()
     }
 
     /// Weight of the arc `u -> v`, `1.0` when the graph is unweighted, `None`
@@ -216,14 +243,49 @@ impl CsrGraph {
     /// For undirected graphs the weight of `(u, v)` equals the weight of
     /// `(v, u)`.
     pub fn with_random_weights(&self, lo: f32, hi: f32, seed: u64) -> Self {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use rand::Rng;
         assert!(lo < hi, "weight range must be non-empty");
-        let mut rng = StdRng::seed_from_u64(seed);
+        assert!(lo >= 0.0, "edge weights must be non-negative");
+        self.with_generated_weights(seed, |rng| rng.gen_range(lo..hi))
+    }
+
+    /// Returns a copy of this graph with heavy-tailed Pareto edge weights
+    /// (`w = (1 − u)^(−1/α)`, minimum 1, shape `alpha`): the skewed-weight
+    /// regime where a per-step linear scan over the adjacency list is at its
+    /// worst and the alias-table sampler shines. Smaller `alpha` means a
+    /// heavier tail (`alpha ≤ 2` has infinite variance).
+    ///
+    /// For undirected graphs the weight of `(u, v)` equals the weight of
+    /// `(v, u)`.
+    pub fn with_skewed_weights(&self, alpha: f32, seed: u64) -> Self {
+        use rand::Rng;
+        assert!(alpha > 0.0, "Pareto shape must be positive");
+        self.with_generated_weights(seed, |rng| {
+            let u = rng.gen_range(0.0f32..1.0f32);
+            (1.0 - u).powf(-1.0 / alpha)
+        })
+    }
+
+    /// Shared skeleton of the `with_*_weights` constructors: draws one weight
+    /// per logical edge from `gen` and mirrors it onto both arcs of an
+    /// undirected edge.
+    ///
+    /// # Panics
+    /// Panics if `gen` produces a non-finite or negative weight (e.g. a
+    /// Pareto draw with a tiny shape overflowing `f32` to `+inf`) — this
+    /// constructor bypasses [`CsrGraph::from_parts`], so it must enforce the
+    /// weight invariant itself.
+    fn with_generated_weights(
+        &self,
+        seed: u64,
+        mut gen: impl FnMut(&mut rand::rngs::StdRng) -> f32,
+    ) -> Self {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut weights = vec![0.0f32; self.targets.len()];
         if self.directed {
             for w in weights.iter_mut() {
-                *w = rng.gen_range(lo..hi);
+                *w = gen(&mut rng);
             }
         } else {
             // Assign weights to canonical (min, max) pairs, then mirror.
@@ -231,7 +293,7 @@ impl CsrGraph {
                 let start = self.offsets[u as usize];
                 for (i, &v) in self.neighbors(u).iter().enumerate() {
                     if u <= v {
-                        weights[start + i] = rng.gen_range(lo..hi);
+                        weights[start + i] = gen(&mut rng);
                     }
                 }
             }
@@ -250,6 +312,11 @@ impl CsrGraph {
                 }
             }
         }
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "generated edge weights must be finite and non-negative \
+             (transition probabilities are proportional to weights)"
+        );
         Self {
             offsets: self.offsets.clone(),
             targets: self.targets.clone(),
@@ -364,6 +431,61 @@ mod tests {
     #[should_panic(expected = "last offset")]
     fn from_parts_rejects_bad_offsets() {
         CsrGraph::from_parts(vec![0, 5], vec![1, 2], None, false, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_parts_rejects_negative_weights() {
+        CsrGraph::from_parts(vec![0, 2], vec![0, 1], Some(vec![1.0, -3.0]), true, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_parts_rejects_nan_weights() {
+        CsrGraph::from_parts(vec![0, 1], vec![1], Some(vec![f32::NAN]), true, 1);
+    }
+
+    #[test]
+    fn arc_range_addresses_weight_slices() {
+        let g = triangle_plus_tail().with_random_weights(1.0, 5.0, 3);
+        let all = g.arc_weights().unwrap();
+        for u in 0..g.num_nodes() as NodeId {
+            assert_eq!(g.arc_range(u).len(), g.degree(u));
+            assert_eq!(&all[g.arc_range(u)], g.neighbor_weights(u).unwrap());
+        }
+        assert!(triangle_plus_tail().arc_weights().is_none());
+    }
+
+    #[test]
+    fn skewed_weights_are_heavy_tailed_and_symmetric() {
+        let g = barabasi_like().with_skewed_weights(1.5, 9);
+        assert!(g.is_weighted());
+        let mut max = 0.0f32;
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for (u, v, w) in g.arcs() {
+            assert!(w >= 1.0, "Pareto weights have minimum 1");
+            assert_eq!(g.edge_weight(u, v), g.edge_weight(v, u));
+            max = max.max(w);
+            sum += w as f64;
+            count += 1;
+        }
+        let mean = sum / count as f64;
+        // A genuinely skewed distribution: the largest weight dwarfs the mean.
+        assert!(
+            (max as f64) > 5.0 * mean,
+            "max {max} should dominate mean {mean:.2}"
+        );
+    }
+
+    fn barabasi_like() -> CsrGraph {
+        // A small hub-and-spoke graph with enough edges for tail statistics.
+        let mut b = GraphBuilder::new_undirected();
+        for v in 1..400u32 {
+            b.add_edge(0, v);
+            b.add_edge(v, (v % 37) + 400);
+        }
+        b.build()
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The paper evaluates on five real-world graphs (Flickr, YouTube,
 //! LiveJournal, Com-Orkut, Twitter) plus R-MAT synthetic graphs for the
-//! scalability study (§6.3, [11]). Those datasets are not redistributable
+//! scalability study (§6.3, \[11\]). Those datasets are not redistributable
 //! here, so this module provides generators that reproduce the structural
 //! properties the paper's mechanisms depend on — power-law degree skew,
 //! community locality, and controllable scale — plus scaled-down "stand-in"

@@ -79,6 +79,11 @@ pub fn parse_edge_list(reader: impl BufRead, directed: bool) -> Result<CsrGraph,
         match it.next() {
             Some(w) => {
                 let w: f32 = w.parse().map_err(|_| parse_err())?;
+                // The builder panics on out-of-domain weights (its invariant);
+                // for untrusted input files report them as parse errors instead.
+                if !w.is_finite() || w < 0.0 {
+                    return Err(parse_err());
+                }
                 builder.add_weighted_edge(u, v, w);
             }
             None => {
@@ -140,6 +145,17 @@ mod tests {
         match err {
             LoadError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_domain_weights_are_parse_errors_not_panics() {
+        for bad in ["0 1 -2.5", "0 1 nan", "0 1 inf"] {
+            let err = parse_edge_list(Cursor::new(bad), false).unwrap_err();
+            match err {
+                LoadError::Parse { line, .. } => assert_eq!(line, 1, "{bad}"),
+                other => panic!("expected parse error for {bad:?}, got {other}"),
+            }
         }
     }
 

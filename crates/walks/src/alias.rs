@@ -1,0 +1,470 @@
+//! O(1) alias-table transition sampling.
+//!
+//! PR 1 removed the per-step frequency-store overhead of InCoM, which left
+//! the neighbour draw itself as the walk engine's dominant per-step cost on
+//! weighted graphs: [`crate::models::propose_next`] drew a weighted neighbour
+//! by summing and then linearly scanning the adjacency weights — `O(deg)`
+//! per step, twice over. On hub-heavy graphs walkers visit high-degree nodes
+//! in proportion to their degree, so the *expected* scan length is
+//! `E[deg²]/E[deg]`, which power-law degree distributions make brutal.
+//!
+//! [`TransitionTables`] is the standard fix (KnightKing uses the same
+//! construction for its static per-vertex distributions): one **alias table**
+//! per node, built once from the CSR in `O(|arcs|)` total time with Vose's
+//! method, after which a weighted neighbour draw costs exactly two random
+//! numbers and two array reads — `O(1)` regardless of degree.
+//!
+//! # Memory layout
+//!
+//! The tables piggyback on the graph's CSR offsets: `prob` and `alias` are
+//! two flat arrays with **one slot per CSR arc**, addressed by the same
+//! [`CsrGraph::arc_range`] that addresses the adjacency and weight slices.
+//! The whole structure is therefore two contiguous allocations totalling
+//! 8 bytes per arc — no per-node `Vec`s, no pointer chasing, and building it
+//! never touches a hash map.
+//!
+//! # Role in the walk models
+//!
+//! * **First order** (DeepWalk): the alias draw *is* the transition.
+//! * **Second order** (node2vec, HuGE): both models already sample by
+//!   rejection — node2vec against the `max(1/p, 1, 1/q)` envelope, HuGE by
+//!   walking-backtracking (§2.1). The alias table serves as their **proposal
+//!   distribution**, making every proposal `O(1)` instead of `O(deg)`; the
+//!   acceptance logic is untouched, so the sampled distribution is exactly
+//!   the one the paper specifies.
+//!
+//! # Choosing a backend
+//!
+//! [`SamplingBackend`] mirrors PR 1's `FreqBackend` pattern: the optimized
+//! path is the default and the original implementation is retained as a
+//! reference ([`SamplingBackend::LinearScan`]) for equivalence tests and
+//! benchmarks. On **unweighted** graphs both backends intentionally consume
+//! the same single bounded draw per step, so they produce byte-identical
+//! corpora (a property test asserts this); on weighted graphs they agree in
+//! distribution (a chi-squared test asserts that) but not per-sample, since
+//! the alias draw consumes randomness differently.
+
+use crate::rng::SplitMix64;
+use distger_graph::{CsrGraph, NodeId};
+use std::time::Instant;
+
+/// Which neighbour-sampling implementation backs the walk engine's
+/// transition draws (first-order draws and second-order proposals).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SamplingBackend {
+    /// Per-node alias tables built once per run: `O(1)` per draw.
+    #[default]
+    Alias,
+    /// The seed's `O(deg)` sum-then-scan over the adjacency weights,
+    /// retained as the reference path for equivalence tests and benchmarks.
+    LinearScan,
+}
+
+/// Per-node alias tables for every node of one graph, stored as two flat
+/// arc-aligned arrays (see the [module docs](self) for the layout).
+///
+/// For **unweighted** graphs no table is materialized at all: a uniform
+/// neighbour draw is already `O(1)`, and skipping the table keeps the draw
+/// bit-compatible with [`SamplingBackend::LinearScan`].
+#[derive(Clone, Debug)]
+pub struct TransitionTables {
+    /// Probability of keeping the rolled slot, aligned with the CSR arcs.
+    /// Empty for unweighted graphs.
+    prob: Vec<f32>,
+    /// Fallback neighbour (as a *local* adjacency index) when the roll is
+    /// rejected, aligned with `prob`.
+    alias: Vec<u32>,
+    /// Wall-clock seconds spent building the tables.
+    build_secs: f64,
+}
+
+impl TransitionTables {
+    /// Builds the tables for `graph` with Vose's method: `O(deg)` per node,
+    /// `O(|arcs|)` overall, two contiguous allocations.
+    ///
+    /// Nodes whose weights sum to zero (all-zero adjacency weights) get a
+    /// uniform table, matching the linear scan's documented fallback.
+    /// Negative or non-finite weights cannot occur: `GraphBuilder` and
+    /// `CsrGraph::from_parts` reject them at construction time.
+    pub fn build(graph: &CsrGraph) -> Self {
+        let start_time = Instant::now();
+        let (prob, alias) = match graph.arc_weights() {
+            None => (Vec::new(), Vec::new()),
+            Some(weights) => Self::build_weighted(graph, weights),
+        };
+        // Report exactly 0 when nothing was materialized, so "build_secs ==
+        // 0" reliably means "no table" to downstream accounting.
+        let build_secs = if prob.is_empty() {
+            0.0
+        } else {
+            start_time.elapsed().as_secs_f64()
+        };
+        Self {
+            prob,
+            alias,
+            build_secs,
+        }
+    }
+
+    fn build_weighted(graph: &CsrGraph, weights: &[f32]) -> (Vec<f32>, Vec<u32>) {
+        let mut prob = vec![0.0f32; weights.len()];
+        let mut alias = vec![0u32; weights.len()];
+        // Scratch buffers reused across nodes, sized to the worst degree.
+        let max_deg = graph.max_degree();
+        let mut scaled: Vec<f64> = Vec::with_capacity(max_deg);
+        let mut small: Vec<u32> = Vec::with_capacity(max_deg);
+        let mut large: Vec<u32> = Vec::with_capacity(max_deg);
+
+        for u in 0..graph.num_nodes() as NodeId {
+            let range = graph.arc_range(u);
+            let deg = range.len();
+            if deg == 0 {
+                continue;
+            }
+            let node_prob = &mut prob[range.clone()];
+            let node_alias = &mut alias[range.clone()];
+            let ws = &weights[range];
+            let total: f64 = ws.iter().map(|&w| w as f64).sum();
+            if total <= 0.0 {
+                // All-zero weights: uniform fallback (same as the scan).
+                for (i, (p, a)) in node_prob.iter_mut().zip(node_alias.iter_mut()).enumerate() {
+                    *p = 1.0;
+                    *a = i as u32;
+                }
+                continue;
+            }
+
+            // Vose's method over weights scaled so the mean bucket is 1.0.
+            scaled.clear();
+            small.clear();
+            large.clear();
+            let norm = deg as f64 / total;
+            for (i, &w) in ws.iter().enumerate() {
+                let s = w as f64 * norm;
+                scaled.push(s);
+                if s < 1.0 {
+                    small.push(i as u32);
+                } else {
+                    large.push(i as u32);
+                }
+            }
+            while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+                small.pop();
+                let (s, l) = (s as usize, l as usize);
+                node_prob[s] = scaled[s] as f32;
+                node_alias[s] = l as u32;
+                // Donate the slack of bucket `s` from bucket `l`.
+                scaled[l] -= 1.0 - scaled[s];
+                if scaled[l] < 1.0 {
+                    large.pop();
+                    small.push(l as u32);
+                }
+            }
+            // Leftovers (in either stack, from floating-point slack) fill a
+            // whole bucket on their own.
+            for &i in large.iter().chain(small.iter()) {
+                node_prob[i as usize] = 1.0;
+                node_alias[i as usize] = i;
+            }
+        }
+        (prob, alias)
+    }
+
+    /// Whether the graph required materialized tables (it was weighted).
+    pub fn is_materialized(&self) -> bool {
+        !self.prob.is_empty()
+    }
+
+    /// Wall-clock seconds the construction took.
+    pub fn build_secs(&self) -> f64 {
+        self.build_secs
+    }
+
+    /// Resident bytes of the two flat arrays (8 bytes per arc when
+    /// materialized, 0 for unweighted graphs).
+    pub fn memory_bytes(&self) -> usize {
+        self.prob.len() * std::mem::size_of::<f32>() + self.alias.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Draws a neighbour of `u` in `O(1)`: roll a slot uniformly, then keep
+    /// it or take its alias. Returns `None` when `u` has no out-neighbours.
+    #[inline]
+    pub fn sample(&self, graph: &CsrGraph, u: NodeId, rng: &mut SplitMix64) -> Option<NodeId> {
+        let neighbors = graph.neighbors(u);
+        if neighbors.is_empty() {
+            return None;
+        }
+        let k = rng.next_bounded(neighbors.len());
+        if self.prob.is_empty() {
+            // Unweighted: the uniform roll is already the answer (and is
+            // bit-identical to the linear-scan backend's draw).
+            return Some(neighbors[k]);
+        }
+        let slot = graph.arc_range(u).start + k;
+        if rng.next_f64() < self.prob[slot] as f64 {
+            Some(neighbors[k])
+        } else {
+            Some(neighbors[self.alias[slot] as usize])
+        }
+    }
+}
+
+/// The neighbour sampler handed to [`crate::models::propose_next`]: either a
+/// borrowed set of alias tables or the reference linear scan. `Copy`, so the
+/// engine can pass it freely into the per-machine BSP closures.
+#[derive(Clone, Copy, Debug)]
+pub enum NeighborSampler<'a> {
+    /// `O(1)` draws through prebuilt [`TransitionTables`].
+    Alias(&'a TransitionTables),
+    /// The seed's `O(deg)` sum-then-scan reference path.
+    LinearScan,
+}
+
+impl NeighborSampler<'_> {
+    /// Samples a neighbour of `u` uniformly, or edge-weight-proportionally
+    /// when the graph is weighted. Returns `None` for nodes without
+    /// out-neighbours.
+    #[inline]
+    pub fn sample(&self, graph: &CsrGraph, u: NodeId, rng: &mut SplitMix64) -> Option<NodeId> {
+        match self {
+            NeighborSampler::Alias(tables) => tables.sample(graph, u, rng),
+            NeighborSampler::LinearScan => linear_scan_sample(graph, u, rng),
+        }
+    }
+}
+
+/// The reference `O(deg)` draw: sum the weights, then scan to the roll.
+/// Falls back to a uniform draw when every weight of `u` is zero (negative
+/// weights are rejected at graph-construction time, so `total <= 0` can only
+/// mean all-zero).
+fn linear_scan_sample(graph: &CsrGraph, u: NodeId, rng: &mut SplitMix64) -> Option<NodeId> {
+    let neighbors = graph.neighbors(u);
+    if neighbors.is_empty() {
+        return None;
+    }
+    match graph.neighbor_weights(u) {
+        None => Some(neighbors[rng.next_bounded(neighbors.len())]),
+        Some(weights) => {
+            let total: f32 = weights.iter().sum();
+            if total <= 0.0 {
+                return Some(neighbors[rng.next_bounded(neighbors.len())]);
+            }
+            let mut target = rng.next_f64() * total as f64;
+            for (i, &w) in weights.iter().enumerate() {
+                target -= w as f64;
+                if target <= 0.0 {
+                    return Some(neighbors[i]);
+                }
+            }
+            Some(*neighbors.last().unwrap())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distger_graph::{barabasi_albert, GraphBuilder};
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(99)
+    }
+
+    /// Draws `n` samples from `sampler` at `u` and returns per-neighbour
+    /// counts indexed like the adjacency list.
+    fn histogram(graph: &CsrGraph, sampler: NeighborSampler<'_>, u: NodeId, n: usize) -> Vec<u64> {
+        let neighbors = graph.neighbors(u);
+        let mut counts = vec![0u64; neighbors.len()];
+        let mut r = rng();
+        for _ in 0..n {
+            let v = sampler.sample(graph, u, &mut r).unwrap();
+            let idx = neighbors.binary_search(&v).unwrap();
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    /// Pearson chi-squared statistic of `observed` against the distribution
+    /// implied by `weights`.
+    fn chi_squared(observed: &[u64], weights: &[f32]) -> f64 {
+        let n: u64 = observed.iter().sum();
+        let total: f64 = weights.iter().map(|&w| w as f64).sum();
+        observed
+            .iter()
+            .zip(weights)
+            .map(|(&obs, &w)| {
+                let expected = n as f64 * w as f64 / total;
+                (obs as f64 - expected).powi(2) / expected
+            })
+            .sum()
+    }
+
+    #[test]
+    fn single_neighbor_node_always_returns_it() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_weighted_edge(0, 1, 3.5);
+        b.add_weighted_edge(1, 2, 1.0);
+        let g = b.build();
+        let tables = TransitionTables::build(&g);
+        let sampler = NeighborSampler::Alias(&tables);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&g, 0, &mut r), Some(1));
+            assert_eq!(sampler.sample(&g, 2, &mut r), Some(1));
+        }
+    }
+
+    #[test]
+    fn isolated_node_returns_none() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_weighted_edge(0, 1, 2.0);
+        b.reserve_nodes(3);
+        let g = b.build();
+        let tables = TransitionTables::build(&g);
+        let mut r = rng();
+        assert_eq!(NeighborSampler::Alias(&tables).sample(&g, 2, &mut r), None);
+        assert_eq!(NeighborSampler::LinearScan.sample(&g, 2, &mut r), None);
+    }
+
+    #[test]
+    fn all_equal_weights_give_full_buckets_and_uniform_draws() {
+        // A 6-spoke star with every weight equal: each bucket must be whole
+        // (prob 1.0 never consults the alias) and draws must look uniform.
+        let mut b = GraphBuilder::new_undirected();
+        for v in 1..=6u32 {
+            b.add_weighted_edge(0, v, 2.5);
+        }
+        let g = b.build();
+        let tables = TransitionTables::build(&g);
+        assert!(tables.is_materialized());
+        let counts = histogram(&g, NeighborSampler::Alias(&tables), 0, 60_000);
+        let weights = g.neighbor_weights(0).unwrap();
+        // 5 degrees of freedom; chi² < 20.5 keeps a false-failure rate ~1e-3,
+        // and the fixed seed makes the test deterministic anyway.
+        assert!(
+            chi_squared(&counts, weights) < 20.5,
+            "equal-weight draws not uniform: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn one_dominant_weight_is_sampled_dominantly() {
+        // One edge carries 95% of the mass.
+        let mut b = GraphBuilder::new_undirected();
+        b.add_weighted_edge(0, 1, 95.0);
+        for v in 2..=6u32 {
+            b.add_weighted_edge(0, v, 1.0);
+        }
+        let g = b.build();
+        let tables = TransitionTables::build(&g);
+        let n = 50_000;
+        let counts = histogram(&g, NeighborSampler::Alias(&tables), 0, n);
+        let dominant = counts[0] as f64 / n as f64;
+        assert!(
+            (dominant - 0.95).abs() < 0.01,
+            "dominant edge drawn {dominant}, expected ≈0.95"
+        );
+        let weights = g.neighbor_weights(0).unwrap();
+        assert!(chi_squared(&counts, weights) < 20.5);
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_uniform() {
+        let mut b = GraphBuilder::new_undirected();
+        for v in 1..=4u32 {
+            b.add_weighted_edge(0, v, 0.0);
+        }
+        // Give the spokes a real edge so the graph stays weighted overall.
+        b.add_weighted_edge(1, 2, 3.0);
+        let g = b.build();
+        let tables = TransitionTables::build(&g);
+        let counts = histogram(&g, NeighborSampler::Alias(&tables), 0, 40_000);
+        let uniform = vec![1.0f32; counts.len()];
+        assert!(
+            chi_squared(&counts, &uniform) < 16.3, // df = 3
+            "zero-weight node should sample uniformly: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn alias_matches_linear_scan_distribution_chi_squared() {
+        // The headline equivalence check: on a skewed-weight hub, the alias
+        // empirical distribution must match both the exact weights and the
+        // linear scan's empirical distribution.
+        let g = barabasi_albert(300, 4, 11).with_skewed_weights(1.5, 7);
+        let tables = TransitionTables::build(&g);
+        let hub = g.nodes_by_degree_desc()[0];
+        let deg = g.degree(hub);
+        assert!(deg >= 10, "hub should be high-degree, got {deg}");
+        let n = 3_000 * deg;
+        let alias_counts = histogram(&g, NeighborSampler::Alias(&tables), hub, n);
+        let scan_counts = histogram(&g, NeighborSampler::LinearScan, hub, n);
+        let weights = g.neighbor_weights(hub).unwrap();
+        // Generous df-scaled bound: E[chi²] = df, Var = 2·df; df + 6·sqrt(2·df)
+        // is far beyond any plausible statistical fluctuation at fixed seed.
+        let bound = |df: f64| df + 6.0 * (2.0 * df).sqrt();
+        let df = (deg - 1) as f64;
+        let chi_alias = chi_squared(&alias_counts, weights);
+        let chi_scan = chi_squared(&scan_counts, weights);
+        assert!(chi_alias < bound(df), "alias chi² {chi_alias} vs df {df}");
+        assert!(chi_scan < bound(df), "scan chi² {chi_scan} vs df {df}");
+    }
+
+    #[test]
+    fn unweighted_graphs_materialize_nothing_and_match_scan_bitwise() {
+        let g = barabasi_albert(200, 3, 5);
+        let tables = TransitionTables::build(&g);
+        assert!(!tables.is_materialized());
+        assert_eq!(tables.memory_bytes(), 0);
+        assert_eq!(tables.build_secs(), 0.0, "no table, no reported build time");
+        let alias = NeighborSampler::Alias(&tables);
+        let scan = NeighborSampler::LinearScan;
+        let mut ra = rng();
+        let mut rs = rng();
+        for u in 0..200u32 {
+            assert_eq!(alias.sample(&g, u, &mut ra), scan.sample(&g, u, &mut rs));
+        }
+    }
+
+    #[test]
+    fn build_accounting_is_sane() {
+        let g = barabasi_albert(500, 5, 2).with_random_weights(1.0, 5.0, 3);
+        let tables = TransitionTables::build(&g);
+        assert!(tables.is_materialized());
+        assert_eq!(tables.memory_bytes(), g.num_arcs() * 8);
+        assert!(tables.build_secs() >= 0.0);
+    }
+
+    #[test]
+    fn vose_buckets_are_a_valid_distribution() {
+        // Per node: sum over buckets of (prob + donated alias mass) must
+        // reconstruct the original weight distribution exactly.
+        let g = barabasi_albert(120, 4, 9).with_skewed_weights(2.0, 4);
+        let tables = TransitionTables::build(&g);
+        for u in 0..g.num_nodes() as NodeId {
+            let deg = g.degree(u);
+            if deg == 0 {
+                continue;
+            }
+            let range = g.arc_range(u);
+            let ws = g.neighbor_weights(u).unwrap();
+            let total: f64 = ws.iter().map(|&w| w as f64).sum();
+            // Reconstruct each neighbour's sampling mass from the buckets.
+            let mut mass = vec![0.0f64; deg];
+            for i in 0..deg {
+                let slot = range.start + i;
+                let p = tables.prob[slot] as f64;
+                assert!((0.0..=1.0 + 1e-6).contains(&p), "prob {p} out of range");
+                mass[i] += p;
+                mass[tables.alias[slot] as usize] += 1.0 - p;
+            }
+            for (i, (&m, &w)) in mass.iter().zip(ws).enumerate() {
+                let expected = w as f64 / total * deg as f64;
+                assert!(
+                    (m - expected).abs() < 1e-4,
+                    "node {u} neighbour {i}: mass {m} vs expected {expected}"
+                );
+            }
+        }
+    }
+}

@@ -14,11 +14,16 @@
 //!
 //! Routine (fixed `L`, fixed `r`) configurations skip the measurement
 //! entirely and exchange 32-byte messages, reproducing KnightKing.
+//!
+//! Transition draws go through the [`SamplingBackend`] configured in
+//! [`WalkEngineConfig`]: per-node alias tables (built once per run, `O(1)`
+//! per draw — the default) or the reference `O(deg)` linear scan.
 
 use distger_cluster::{run_bsp, CommStats, Outbox};
 use distger_graph::{stats::degree_distribution, CsrGraph, NodeId};
 use distger_partition::Partitioning;
 
+use crate::alias::{NeighborSampler, SamplingBackend, TransitionTables};
 use crate::corpus::Corpus;
 use crate::freq::{FreqBackend, FreqStore};
 use crate::info::{relative_entropy, FullPathInfo, IncrementalInfo, WalkCountController};
@@ -51,6 +56,11 @@ pub struct WalkEngineConfig {
     /// [`FreqBackend::NestedReference`] retains the original nested-`HashMap`
     /// path for equivalence tests and benchmarks.
     pub freq_backend: FreqBackend,
+    /// Which neighbour-sampling implementation backs the transition draws.
+    /// [`SamplingBackend::Alias`] (per-node alias tables, `O(1)` per draw)
+    /// is the optimized default; [`SamplingBackend::LinearScan`] retains the
+    /// original `O(deg)` scan for equivalence tests and benchmarks.
+    pub sampling_backend: SamplingBackend,
     /// Seed for all stochastic choices.
     pub seed: u64,
     /// Safety cap on BSP supersteps per round.
@@ -67,6 +77,7 @@ impl WalkEngineConfig {
             walks_per_node: WalkCountPolicy::routine(),
             info_mode: InfoMode::Incremental,
             freq_backend: FreqBackend::Flat,
+            sampling_backend: SamplingBackend::Alias,
             seed: 0,
             max_supersteps: 1_000_000,
         }
@@ -81,6 +92,7 @@ impl WalkEngineConfig {
             walks_per_node: WalkCountPolicy::info_driven_default(),
             info_mode: InfoMode::FullPath,
             freq_backend: FreqBackend::Flat,
+            sampling_backend: SamplingBackend::Alias,
             seed: 0,
             max_supersteps: 1_000_000,
         }
@@ -115,6 +127,12 @@ impl WalkEngineConfig {
         self
     }
 
+    /// Builder-style transition-sampling backend override.
+    pub fn with_sampling_backend(mut self, backend: SamplingBackend) -> Self {
+        self.sampling_backend = backend;
+        self
+    }
+
     fn needs_info(&self) -> bool {
         self.length.needs_info()
     }
@@ -138,8 +156,19 @@ pub struct WalkResult {
     /// End-of-run corpus residency per machine (the accumulated corpus,
     /// divided evenly over machines).
     pub corpus_shard_bytes: usize,
+    /// Wall-clock seconds spent building the alias transition tables (0 when
+    /// [`SamplingBackend::LinearScan`] is configured or the graph is
+    /// unweighted, in which case no table is materialized).
+    pub alias_build_secs: f64,
+    /// Resident bytes of the alias transition tables over the whole graph
+    /// (8 bytes per CSR arc when materialized, 0 otherwise). The tables are
+    /// read-only and partition-independent, so each machine only needs the
+    /// slice covering its own nodes — divide by the machine count for the
+    /// per-machine share.
+    pub alias_table_bytes: usize,
     /// Estimated per-machine sampling-phase memory in bytes: transient
-    /// walker state plus the resident corpus shard.
+    /// walker state, the resident corpus shard, plus this machine's share of
+    /// the alias tables.
     pub avg_machine_memory_bytes: usize,
 }
 
@@ -233,6 +262,16 @@ pub fn run_distributed_walks(
 
     let degree_dist = degree_distribution(graph);
 
+    // Build the transition tables once per run; every round reuses them.
+    let tables = match config.sampling_backend {
+        SamplingBackend::Alias => Some(TransitionTables::build(graph)),
+        SamplingBackend::LinearScan => None,
+    };
+    let sampler = match &tables {
+        Some(t) => NeighborSampler::Alias(t),
+        None => NeighborSampler::LinearScan,
+    };
+
     // Decide the round schedule.
     let (fixed_rounds, mut controller) = match config.walks_per_node {
         WalkCountPolicy::Fixed(r) => (Some(r.max(1)), None),
@@ -248,7 +287,7 @@ pub fn run_distributed_walks(
 
     let mut round = 0usize;
     loop {
-        let round_result = run_round(graph, partitioning, config, round as u64);
+        let round_result = run_round(graph, partitioning, config, sampler, round as u64);
         comm.merge(&round_result.comm);
         peak_round_memory = peak_round_memory.max(round_result.peak_memory_sum);
         corpus.extend(round_result.corpus);
@@ -276,6 +315,10 @@ pub fn run_distributed_walks(
     // `rounds`).
     let walker_peak_bytes = peak_round_memory / num_machines.max(1);
     let corpus_shard_bytes = corpus.memory_bytes() / num_machines.max(1);
+    let (alias_build_secs, alias_table_bytes) = tables
+        .as_ref()
+        .map_or((0.0, 0), |t| (t.build_secs(), t.memory_bytes()));
+    let alias_shard_bytes = alias_table_bytes / num_machines.max(1);
 
     WalkResult {
         corpus,
@@ -284,7 +327,9 @@ pub fn run_distributed_walks(
         relative_entropy_trace: trace,
         walker_peak_bytes,
         corpus_shard_bytes,
-        avg_machine_memory_bytes: walker_peak_bytes + corpus_shard_bytes,
+        alias_build_secs,
+        alias_table_bytes,
+        avg_machine_memory_bytes: walker_peak_bytes + corpus_shard_bytes + alias_shard_bytes,
     }
 }
 
@@ -299,6 +344,7 @@ fn run_round(
     graph: &CsrGraph,
     partitioning: &Partitioning,
     config: &WalkEngineConfig,
+    sampler: NeighborSampler<'_>,
     round: u64,
 ) -> RoundResult {
     let n = graph.num_nodes();
@@ -341,7 +387,16 @@ fn run_round(
         config.max_supersteps,
         |machine, state, mailbox, outbox| {
             for msg in mailbox.messages {
-                process_walker(graph, partitioning, config, machine, state, msg, outbox);
+                process_walker(
+                    graph,
+                    partitioning,
+                    config,
+                    sampler,
+                    machine,
+                    state,
+                    msg,
+                    outbox,
+                );
             }
             state.update_memory_estimate();
         },
@@ -410,10 +465,12 @@ fn run_round(
 /// steady-state cost per accepted node is one arena push plus one frequency
 /// probe — no per-step tuples, no hashing of the walk id beyond the single
 /// flat-directory lookup.
+#[allow(clippy::too_many_arguments)]
 fn process_walker(
     graph: &CsrGraph,
     partitioning: &Partitioning,
     config: &WalkEngineConfig,
+    sampler: NeighborSampler<'_>,
     machine: usize,
     state: &mut MachineState,
     mut msg: WalkerMessage,
@@ -456,7 +513,7 @@ fn process_walker(
             return;
         }
 
-        let next = match propose_next(&config.model, graph, msg.prev, msg.cur, &mut rng) {
+        let next = match propose_next(&config.model, graph, sampler, msg.prev, msg.cur, &mut rng) {
             Some(v) => v,
             None => {
                 // Dead end (isolated or sink node).
@@ -564,6 +621,54 @@ mod tests {
             r_mpgp.comm.messages,
             r_balanced.comm.messages
         );
+    }
+
+    #[test]
+    fn sampling_backends_agree_bitwise_on_unweighted_graphs() {
+        // On unweighted graphs both backends take the same single bounded
+        // draw per step, so the corpora must be identical — the strongest
+        // possible equivalence.
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 4);
+        let alias = run_distributed_walks(&g, &p, &WalkEngineConfig::distger().with_seed(13));
+        let scan = run_distributed_walks(
+            &g,
+            &p,
+            &WalkEngineConfig::distger()
+                .with_seed(13)
+                .with_sampling_backend(SamplingBackend::LinearScan),
+        );
+        assert_eq!(alias.corpus, scan.corpus);
+        assert_eq!(alias.comm, scan.comm);
+        assert_eq!(alias.alias_table_bytes, 0, "unweighted: no table resident");
+        assert_eq!(scan.alias_build_secs, 0.0, "linear scan builds nothing");
+    }
+
+    #[test]
+    fn weighted_walks_report_alias_accounting_and_stay_valid() {
+        let g = test_graph().with_skewed_weights(1.5, 3);
+        let p = workload_balanced_partition(&g, 4);
+        let mut cfg = WalkEngineConfig::knightking_routine(WalkModel::DeepWalk).with_seed(2);
+        cfg.length = LengthPolicy::Fixed(15);
+        cfg.walks_per_node = WalkCountPolicy::Fixed(2);
+        let result = run_distributed_walks(&g, &p, &cfg);
+        assert_eq!(result.alias_table_bytes, g.num_arcs() * 8);
+        assert!(result.alias_build_secs >= 0.0);
+        assert!(result.avg_machine_memory_bytes >= result.alias_table_bytes / 4);
+        for walk in result.corpus.walks() {
+            for pair in walk.windows(2) {
+                assert!(g.has_edge(pair[0], pair[1]));
+            }
+        }
+        // The reference backend samples the same distribution but consumes
+        // randomness differently; it must still be a valid run of equal shape.
+        let scan = run_distributed_walks(
+            &g,
+            &p,
+            &cfg.with_sampling_backend(SamplingBackend::LinearScan),
+        );
+        assert_eq!(scan.corpus.num_walks(), result.corpus.num_walks());
+        assert_eq!(scan.alias_table_bytes, 0);
     }
 
     #[test]

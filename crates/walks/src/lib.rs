@@ -18,9 +18,20 @@
 //!   `O(1)` per-step updates of `H` and `R²` (Theorem 1 and Eq. 13),
 //!   machine-local frequency lists, and constant 80-byte messages.
 //!
+//! Two per-step data structures keep the hot path `O(1)`:
+//!
+//! * [`freq`] — the flat machine-local frequency store (PR 1), queried once
+//!   per accepted node by InCoM's incremental measurement;
+//! * [`alias`] — per-node alias transition tables (Vose construction, two
+//!   flat arc-aligned arrays), making every weighted neighbour draw — and
+//!   every second-order rejection *proposal* — constant time regardless of
+//!   degree. Both keep the original implementation selectable as a reference
+//!   backend ([`FreqBackend`] / [`SamplingBackend`]).
+//!
 //! All engines run on the simulated cluster of `distger-cluster` and report
 //! [`CommStats`](distger_cluster::CommStats) alongside the sampled [`Corpus`].
 
+pub mod alias;
 pub mod corpus;
 pub mod engine;
 pub mod freq;
@@ -29,6 +40,7 @@ pub mod message;
 pub mod models;
 pub mod rng;
 
+pub use alias::{NeighborSampler, SamplingBackend, TransitionTables};
 pub use corpus::Corpus;
 pub use engine::{run_distributed_walks, InfoMode, WalkEngineConfig, WalkResult};
 pub use freq::{FlatFreqStore, FreqBackend, NestedFreqStore};

@@ -19,7 +19,14 @@
 //! (`L = 80`, `r = 10`) and the information-driven configuration
 //! (`R² < μ`, `ΔD ≤ δ`) can be mixed freely with any transition model — this
 //! is the "general API" of §6.6.
+//!
+//! The neighbour draw itself — the first-order transition and the proposal
+//! distribution of the two rejection-sampled second-order models — is
+//! delegated to a [`NeighborSampler`], so every model transparently benefits
+//! from the `O(1)` alias tables of [`crate::alias`] (or falls back to the
+//! reference `O(deg)` linear scan).
 
+use crate::alias::NeighborSampler;
 use crate::rng::SplitMix64;
 use distger_graph::{CsrGraph, NodeId};
 
@@ -186,38 +193,15 @@ pub fn huge_acceptance(graph: &CsrGraph, u: NodeId, v: NodeId) -> f64 {
     huge_normalize(alpha * w)
 }
 
-/// Samples a neighbour index of `u` uniformly, or edge-weight-proportionally
-/// when the graph is weighted.
-fn sample_neighbor(graph: &CsrGraph, u: NodeId, rng: &mut SplitMix64) -> Option<NodeId> {
-    let neighbors = graph.neighbors(u);
-    if neighbors.is_empty() {
-        return None;
-    }
-    match graph.neighbor_weights(u) {
-        None => Some(neighbors[rng.next_bounded(neighbors.len())]),
-        Some(weights) => {
-            let total: f32 = weights.iter().sum();
-            if total <= 0.0 {
-                return Some(neighbors[rng.next_bounded(neighbors.len())]);
-            }
-            let mut target = rng.next_f64() * total as f64;
-            for (i, &w) in weights.iter().enumerate() {
-                target -= w as f64;
-                if target <= 0.0 {
-                    return Some(neighbors[i]);
-                }
-            }
-            Some(*neighbors.last().unwrap())
-        }
-    }
-}
-
 /// Proposes (and accepts) the next node of a walk currently at `cur`, having
-/// previously been at `prev` (for second-order models). Returns `None` when
-/// `cur` has no out-neighbours (the walk must stop).
+/// previously been at `prev` (for second-order models). Neighbour draws —
+/// DeepWalk's transition and the rejection proposals of node2vec/HuGE — go
+/// through `sampler`. Returns `None` when `cur` has no out-neighbours (the
+/// walk must stop).
 pub fn propose_next(
     model: &WalkModel,
     graph: &CsrGraph,
+    sampler: NeighborSampler<'_>,
     prev: Option<NodeId>,
     cur: NodeId,
     rng: &mut SplitMix64,
@@ -226,11 +210,11 @@ pub fn propose_next(
         return None;
     }
     match *model {
-        WalkModel::DeepWalk => sample_neighbor(graph, cur, rng),
+        WalkModel::DeepWalk => sampler.sample(graph, cur, rng),
         WalkModel::Node2Vec { p, q } => {
             // Rejection sampling with envelope Q = max(1/p, 1, 1/q).
             let envelope = (1.0 / p).max(1.0).max(1.0 / q);
-            let mut candidate = sample_neighbor(graph, cur, rng)?;
+            let mut candidate = sampler.sample(graph, cur, rng)?;
             for _ in 0..MAX_TRIALS {
                 let bias = match prev {
                     None => 1.0,
@@ -247,20 +231,20 @@ pub fn propose_next(
                 if rng.next_f64() * envelope <= bias {
                     return Some(candidate);
                 }
-                candidate = sample_neighbor(graph, cur, rng)?;
+                candidate = sampler.sample(graph, cur, rng)?;
             }
             Some(candidate)
         }
         WalkModel::Huge => {
             // Walking-backtracking: rejected candidates send the walker back
             // to `cur` for a fresh attempt.
-            let mut candidate = sample_neighbor(graph, cur, rng)?;
+            let mut candidate = sampler.sample(graph, cur, rng)?;
             for _ in 0..MAX_TRIALS {
                 let accept = huge_acceptance(graph, cur, candidate);
                 if rng.next_f64() < accept {
                     return Some(candidate);
                 }
-                candidate = sample_neighbor(graph, cur, rng)?;
+                candidate = sampler.sample(graph, cur, rng)?;
             }
             Some(candidate)
         }
@@ -316,24 +300,27 @@ mod tests {
     #[test]
     fn propose_next_returns_neighbors_only() {
         let g = barabasi_albert(100, 3, 7);
+        let tables = crate::alias::TransitionTables::build(&g);
         let mut r = rng();
-        for model in [
-            WalkModel::DeepWalk,
-            WalkModel::Node2Vec { p: 0.5, q: 2.0 },
-            WalkModel::Huge,
-        ] {
-            let mut prev = None;
-            let mut cur: NodeId = 5;
-            for _ in 0..50 {
-                let next = propose_next(&model, &g, prev, cur, &mut r)
-                    .expect("connected node must have a next hop");
-                assert!(
-                    g.has_edge(cur, next),
-                    "{}: {next} is not a neighbour of {cur}",
-                    model.name()
-                );
-                prev = Some(cur);
-                cur = next;
+        for sampler in [NeighborSampler::LinearScan, NeighborSampler::Alias(&tables)] {
+            for model in [
+                WalkModel::DeepWalk,
+                WalkModel::Node2Vec { p: 0.5, q: 2.0 },
+                WalkModel::Huge,
+            ] {
+                let mut prev = None;
+                let mut cur: NodeId = 5;
+                for _ in 0..50 {
+                    let next = propose_next(&model, &g, sampler, prev, cur, &mut r)
+                        .expect("connected node must have a next hop");
+                    assert!(
+                        g.has_edge(cur, next),
+                        "{}: {next} is not a neighbour of {cur}",
+                        model.name()
+                    );
+                    prev = Some(cur);
+                    cur = next;
+                }
             }
         }
     }
@@ -344,12 +331,16 @@ mod tests {
         b.add_edge(0, 1);
         b.reserve_nodes(3);
         let g = b.build();
+        let scan = NeighborSampler::LinearScan;
         let mut r = rng();
         assert_eq!(
-            propose_next(&WalkModel::DeepWalk, &g, None, 2, &mut r),
+            propose_next(&WalkModel::DeepWalk, &g, scan, None, 2, &mut r),
             None
         );
-        assert_eq!(propose_next(&WalkModel::Huge, &g, None, 2, &mut r), None);
+        assert_eq!(
+            propose_next(&WalkModel::Huge, &g, scan, None, 2, &mut r),
+            None
+        );
     }
 
     #[test]
@@ -364,7 +355,9 @@ mod tests {
         let count_returns = |p: f64, q: f64, r: &mut SplitMix64| {
             let model = WalkModel::Node2Vec { p, q };
             (0..trials)
-                .filter(|_| propose_next(&model, &g, Some(0), 1, r) == Some(0))
+                .filter(|_| {
+                    propose_next(&model, &g, NeighborSampler::LinearScan, Some(0), 1, r) == Some(0)
+                })
                 .count()
         };
         let returns_low_p = count_returns(0.25, 1.0, &mut r); // strong return bias
@@ -381,11 +374,16 @@ mod tests {
         b.add_weighted_edge(0, 1, 10.0);
         b.add_weighted_edge(0, 2, 0.1);
         let g = b.build();
-        let mut r = rng();
-        let to_1 = (0..2_000)
-            .filter(|_| propose_next(&WalkModel::DeepWalk, &g, None, 0, &mut r) == Some(1))
-            .count();
-        assert!(to_1 > 1_800, "heavy edge taken only {to_1}/2000 times");
+        let tables = crate::alias::TransitionTables::build(&g);
+        for sampler in [NeighborSampler::LinearScan, NeighborSampler::Alias(&tables)] {
+            let mut r = rng();
+            let to_1 = (0..2_000)
+                .filter(|_| {
+                    propose_next(&WalkModel::DeepWalk, &g, sampler, None, 0, &mut r) == Some(1)
+                })
+                .count();
+            assert!(to_1 > 1_800, "heavy edge taken only {to_1}/2000 times");
+        }
     }
 
     #[test]

@@ -4,7 +4,8 @@ use distger_graph::{GraphBuilder, NodeId};
 use distger_partition::{mpgp_partition, MpgpConfig, Partitioning};
 use distger_walks::info::{walk_entropy, FullPathInfo, IncrementalInfo};
 use distger_walks::{
-    run_distributed_walks, FreqBackend, LengthPolicy, WalkCountPolicy, WalkEngineConfig, WalkModel,
+    run_distributed_walks, FreqBackend, LengthPolicy, SamplingBackend, WalkCountPolicy,
+    WalkEngineConfig, WalkModel,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -110,6 +111,67 @@ proptest! {
         prop_assert_eq!(&flat.corpus, &full_path.corpus);
         prop_assert_eq!(flat.comm.messages, full_path.comm.messages);
         prop_assert_eq!(flat.rounds, nested.rounds);
+    }
+
+    /// The alias-table sampler is a pure representation change on unweighted
+    /// graphs: for any seed and machine count it consumes the same random
+    /// draws as the reference linear scan, so the two backends — crossed with
+    /// either frequency store — must produce byte-identical corpora and
+    /// communication statistics.
+    #[test]
+    fn alias_backend_matches_linear_scan_on_unweighted(
+        seed in 0u64..12,
+        machines in 1usize..5,
+    ) {
+        let g = distger_graph::barabasi_albert(160, 3, seed);
+        let p = mpgp_partition(&g, machines, MpgpConfig::default());
+        let runs: Vec<_> = [
+            (SamplingBackend::Alias, FreqBackend::Flat),
+            (SamplingBackend::LinearScan, FreqBackend::Flat),
+            (SamplingBackend::Alias, FreqBackend::NestedReference),
+            (SamplingBackend::LinearScan, FreqBackend::NestedReference),
+        ]
+        .into_iter()
+        .map(|(sampling, freq)| {
+            run_distributed_walks(
+                &g,
+                &p,
+                &WalkEngineConfig::distger()
+                    .with_seed(seed)
+                    .with_sampling_backend(sampling)
+                    .with_freq_backend(freq),
+            )
+        })
+        .collect();
+        for other in &runs[1..] {
+            prop_assert_eq!(&runs[0].corpus, &other.corpus);
+            prop_assert_eq!(&runs[0].comm, &other.comm);
+            prop_assert_eq!(runs[0].rounds, other.rounds);
+        }
+    }
+
+    /// On weighted graphs the alias backend consumes randomness differently,
+    /// so corpora are only equal in distribution — but every walk it emits
+    /// must still be a real path, cover every source, and the engine must
+    /// report the 8-bytes-per-arc table residency.
+    #[test]
+    fn alias_backend_weighted_walks_are_paths(
+        seed in 0u64..10,
+        machines in 1usize..4,
+    ) {
+        let g = distger_graph::barabasi_albert(120, 3, seed).with_skewed_weights(1.5, seed);
+        let p = mpgp_partition(&g, machines, MpgpConfig::default());
+        let mut cfg = WalkEngineConfig::knightking_routine(WalkModel::DeepWalk).with_seed(seed);
+        cfg.length = LengthPolicy::Fixed(12);
+        cfg.walks_per_node = WalkCountPolicy::Fixed(1);
+        let result = run_distributed_walks(&g, &p, &cfg);
+        prop_assert_eq!(result.corpus.num_walks(), g.num_nodes());
+        prop_assert_eq!(result.alias_table_bytes, g.num_arcs() * 8);
+        for walk in result.corpus.walks() {
+            for pair in walk.windows(2) {
+                prop_assert!(g.has_edge(pair[0], pair[1]), "non-edge in weighted walk");
+            }
+        }
     }
 }
 

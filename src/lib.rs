@@ -56,7 +56,7 @@ pub mod prelude {
     pub use distger_graph::{CsrGraph, GraphBuilder, NodeId};
     pub use distger_partition::{MpgpConfig, Partitioning, StreamingOrder};
     pub use distger_walks::{
-        run_distributed_walks, Corpus, InfoMode, LengthPolicy, WalkCountPolicy, WalkEngineConfig,
-        WalkModel,
+        run_distributed_walks, Corpus, InfoMode, LengthPolicy, SamplingBackend, WalkCountPolicy,
+        WalkEngineConfig, WalkModel,
     };
 }

@@ -129,7 +129,7 @@ impl Bencher {
     }
 
     /// Measures `routine`: calibrates the per-sample iteration count to
-    /// [`TARGET_SAMPLE`], then records `sample_size` samples of
+    /// `TARGET_SAMPLE`, then records `sample_size` samples of
     /// time-per-iteration (seconds).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Calibration: time a single call (also serves as warm-up).

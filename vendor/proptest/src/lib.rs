@@ -7,7 +7,7 @@
 //! * the [`proptest!`] block macro, with an optional leading
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]`;
 //! * integer and float [`Range`](std::ops::Range) strategies, tuple
-//!   strategies, [`collection::vec`], [`strategy::Just`], [`any`] and
+//!   strategies, [`collection::vec`], [`strategy::Just`], `any` and
 //!   [`Strategy::prop_map`];
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
 //!
@@ -240,7 +240,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Number-of-elements specification for [`vec`]: a fixed length or a
+    /// Number-of-elements specification for [`vec()`](fn@vec): a fixed length or a
     /// half-open range of lengths.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
