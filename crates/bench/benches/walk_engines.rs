@@ -1,9 +1,12 @@
 //! Figure 10(a) at micro scale: random-walk time of the routine KnightKing
 //! configuration, the HuGE-D full-path baseline, and DistGER's InCoM engine —
-//! plus steps-per-second throughput comparisons of the two per-step data
-//! structures against their retained reference paths (flat vs nested-HashMap
-//! frequency store; alias-table vs linear-scan transition sampling), exported
-//! together to `BENCH_walks.json`.
+//! plus steps-per-second throughput comparisons of the optimized hot-path
+//! implementations against their retained reference paths (flat vs
+//! nested-HashMap frequency store; alias-table vs linear-scan transition
+//! sampling; persistent worker pool vs spawn-per-superstep BSP execution),
+//! exported together to `BENCH_walks.json`. Every `*_speedup` report row is
+//! enforced by the CI regression gate against `crates/bench/baselines.json`
+//! (see `distger_bench::gate`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use distger_bench::json::{object, Value};
@@ -14,8 +17,8 @@ use distger_partition::{
     balanced::workload_balanced_partition, mpgp_partition, MpgpConfig, Partitioning,
 };
 use distger_walks::{
-    run_distributed_walks, FreqBackend, LengthPolicy, SamplingBackend, WalkCountPolicy,
-    WalkEngineConfig, WalkModel, WalkResult,
+    run_distributed_walks, ExecutionBackend, FreqBackend, LengthPolicy, SamplingBackend,
+    WalkCountPolicy, WalkEngineConfig, WalkModel, WalkResult,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -107,6 +110,29 @@ fn bench_transition_sampling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Superstep-coordination overhead of the two execution backends in the
+/// many-small-rounds regime the worker pool exists for: many machines, short
+/// fixed-length walks, several rounds — each superstep carries only a few
+/// hundred walker steps per machine, so per-superstep thread spawn/join
+/// dominates the reference backend.
+fn bench_execution_backends(c: &mut Criterion) {
+    let (graph, partitioning) = small_rounds_workload();
+    let mut group = c.benchmark_group("execution_backend_steps_per_sec");
+    group.sample_size(10);
+    for (label, backend) in EXECUTION_BACKENDS {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(run_distributed_walks(
+                    graph,
+                    partitioning,
+                    &small_rounds_config(backend),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 const FREQ_BACKENDS: [(&str, FreqBackend); 2] = [
     ("flat", FreqBackend::Flat),
     ("nested_reference", FreqBackend::NestedReference),
@@ -115,6 +141,11 @@ const FREQ_BACKENDS: [(&str, FreqBackend); 2] = [
 const SAMPLING_BACKENDS: [(&str, SamplingBackend); 2] = [
     ("alias", SamplingBackend::Alias),
     ("linear_scan", SamplingBackend::LinearScan),
+];
+
+const EXECUTION_BACKENDS: [(&str, ExecutionBackend); 2] = [
+    ("pool", ExecutionBackend::Pool),
+    ("spawn_per_step", ExecutionBackend::SpawnPerStep),
 ];
 
 fn freq_store_config(backend: FreqBackend) -> WalkEngineConfig {
@@ -156,6 +187,31 @@ fn freq_bench_graph() -> &'static CsrGraph {
     GRAPH.get_or_init(|| bench_dataset(PaperDataset::Flickr, BenchScale::Default, 3))
 }
 
+/// Routine DeepWalk with short walks (`L = 16`) over 8 machines: with a
+/// workload-balanced partition most steps hop machines, so each round runs
+/// ~16 supersteps of ~250 walkers per machine — the small-superstep regime
+/// where the per-superstep thread-spawn overhead of the reference backend
+/// dominates the actual walking.
+fn small_rounds_config(execution: ExecutionBackend) -> WalkEngineConfig {
+    let mut config = WalkEngineConfig::knightking_routine(WalkModel::DeepWalk)
+        .with_seed(29)
+        .with_execution(execution);
+    config.length = LengthPolicy::Fixed(16);
+    config.walks_per_node = WalkCountPolicy::Fixed(6);
+    config
+}
+
+/// The graph and 8-machine partition shared by the execution-backend
+/// criterion group and the JSON export.
+fn small_rounds_workload() -> &'static (CsrGraph, Partitioning) {
+    static WORKLOAD: std::sync::OnceLock<(CsrGraph, Partitioning)> = std::sync::OnceLock::new();
+    WORKLOAD.get_or_init(|| {
+        let graph = barabasi_albert(2_000, 8, 19);
+        let partitioning = workload_balanced_partition(&graph, 8);
+        (graph, partitioning)
+    })
+}
+
 /// Best-of-`reps` timed run; returns `(best_secs, result_of_best_rep)`.
 fn best_of(
     reps: usize,
@@ -192,6 +248,11 @@ fn export_reports(_c: &mut Criterion) {
         "InCoM sampler throughput: flat vs nested-HashMap frequency store",
         &["steps_per_sec", "total_steps", "best_secs"],
     );
+    let mut freq_speedup_report = Report::new(
+        "freq_store_speedup",
+        "Flat-over-nested steps/sec ratio",
+        &["flat_over_nested"],
+    );
     let mut freq_rates = Vec::new();
     for (label, backend) in FREQ_BACKENDS {
         let (best_secs, result) = best_of(reps, graph, &partitioning, &freq_store_config(backend));
@@ -209,6 +270,7 @@ fn export_reports(_c: &mut Criterion) {
             "freq_store_throughput: flat/nested speedup = {:.2}x",
             flat / nested
         );
+        freq_speedup_report.push("flat_over_nested", vec![flat / nested]);
     }
 
     // Part 2: alias tables vs linear scan (transition draw).
@@ -268,6 +330,51 @@ fn export_reports(_c: &mut Criterion) {
         }
     }
 
+    // Part 3: worker-pool vs spawn-per-superstep BSP execution, end-to-end
+    // walk throughput on the many-small-rounds workload. `sync_secs` is the
+    // engine's own superstep-overhead accounting — the quantity the pool
+    // shrinks.
+    let (graph, partitioning) = small_rounds_workload();
+    let mut execution_report = Report::new(
+        "execution_backend",
+        "End-to-end walk throughput: persistent worker pool vs spawn-per-superstep \
+         (Barabási–Albert n=2000 m=8, 8 machines, L=16, r=6)",
+        &["steps_per_sec", "total_steps", "best_secs", "sync_secs"],
+    );
+    let mut execution_speedup_report = Report::new(
+        "execution_backend_speedup",
+        "Pool-over-spawn end-to-end walk throughput ratio on many small supersteps",
+        &["pool_over_spawn"],
+    );
+    let mut rates = Vec::new();
+    for (label, backend) in EXECUTION_BACKENDS {
+        let (best_secs, result) = best_of(reps, graph, partitioning, &small_rounds_config(backend));
+        let total_steps = result.comm.total_steps();
+        let steps_per_sec = total_steps as f64 / best_secs;
+        println!(
+            "execution_backend/{label}: {steps_per_sec:.0} steps/s \
+             ({total_steps} steps in {best_secs:.4}s, {:.4}s superstep sync overhead)",
+            result.superstep_sync_secs
+        );
+        execution_report.push(
+            label,
+            vec![
+                steps_per_sec,
+                total_steps as f64,
+                best_secs,
+                result.superstep_sync_secs,
+            ],
+        );
+        rates.push(steps_per_sec);
+    }
+    if let [pool, spawn] = rates[..] {
+        println!(
+            "execution_backend: pool/spawn speedup = {:.2}x",
+            pool / spawn
+        );
+        execution_speedup_report.push("small_rounds", vec![pool / spawn]);
+    }
+
     let combined = object([
         ("id", Value::from("bench_walks".to_string())),
         (
@@ -280,8 +387,11 @@ fn export_reports(_c: &mut Criterion) {
             "reports",
             Value::Array(vec![
                 freq_report.to_json(),
+                freq_speedup_report.to_json(),
                 sampling_report.to_json(),
                 speedup_report.to_json(),
+                execution_report.to_json(),
+                execution_speedup_report.to_json(),
             ]),
         ),
     ]);
@@ -290,8 +400,11 @@ fn export_reports(_c: &mut Criterion) {
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_walks.json");
     std::fs::write(&out, combined.to_string_pretty()).expect("write BENCH_walks.json");
     println!("{}", freq_report.to_text());
+    println!("{}", freq_speedup_report.to_text());
     println!("{}", sampling_report.to_text());
     println!("{}", speedup_report.to_text());
+    println!("{}", execution_report.to_text());
+    println!("{}", execution_speedup_report.to_text());
 }
 
 criterion_group!(
@@ -299,6 +412,7 @@ criterion_group!(
     bench_walks,
     bench_freq_store_throughput,
     bench_transition_sampling,
+    bench_execution_backends,
     export_reports
 );
 criterion_main!(benches);

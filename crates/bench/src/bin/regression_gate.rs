@@ -1,0 +1,92 @@
+//! CI throughput-regression gate.
+//!
+//! Parses the `BENCH_walks.json` written by `cargo bench -p distger-bench
+//! --bench walk_engines` and fails (exit code 1) if any `*_speedup` report
+//! row named in `crates/bench/baselines.json` dropped below its committed
+//! floor (after tolerance). Run it from CI right after the bench:
+//!
+//! ```sh
+//! cargo bench -p distger-bench --bench walk_engines
+//! cargo run -p distger-bench --release --bin regression_gate
+//! ```
+//!
+//! Optional arguments override the default paths:
+//! `regression_gate [BENCH_walks.json] [baselines.json]`.
+
+use distger_bench::gate::{collect_speedups, evaluate, unfloored, Baselines, GateCheck};
+use distger_bench::json::Value;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn default_paths() -> (PathBuf, PathBuf) {
+    // The binary may run from the workspace root or the package directory;
+    // anchor on the manifest like the bench's JSON export does.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    (
+        manifest.join("../../BENCH_walks.json"),
+        manifest.join("baselines.json"),
+    )
+}
+
+fn load(path: &Path, what: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {what} at {}: {e}", path.display()))?;
+    Value::parse(&text).map_err(|e| format!("malformed {what} at {}: {e}", path.display()))
+}
+
+fn run() -> Result<(Vec<GateCheck>, Vec<String>), String> {
+    let (default_bench, default_baselines) = default_paths();
+    let mut args = std::env::args().skip(1);
+    let bench_path = args.next().map_or(default_bench, PathBuf::from);
+    let baselines_path = args.next().map_or(default_baselines, PathBuf::from);
+
+    let bench = load(&bench_path, "bench report")?;
+    let baselines = Baselines::from_json(&load(&baselines_path, "baselines")?)?;
+    let speedups = collect_speedups(&bench);
+
+    println!(
+        "regression gate: {} measured speedup(s) from {}, {} floor(s) from {} (tolerance {:.0}%)",
+        speedups.len(),
+        bench_path.display(),
+        baselines.floors.len(),
+        baselines_path.display(),
+        baselines.tolerance * 100.0,
+    );
+    Ok((
+        evaluate(&baselines, &speedups),
+        unfloored(&baselines, &speedups),
+    ))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok((checks, unfloored_keys)) => {
+            for check in &checks {
+                println!("{}", check.render());
+            }
+            for key in &unfloored_keys {
+                println!(
+                    "FAIL  {key:<52} measured but has no floor in baselines.json — \
+                     commit one so this speedup stays enforced"
+                );
+            }
+            let failures = checks.iter().filter(|c| !c.passed()).count() + unfloored_keys.len();
+            if failures == 0 {
+                println!("regression gate: all {} check(s) passed", checks.len());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "regression gate: {failures} of {} check(s) FAILED — a committed \
+                     speedup floor regressed, its report went missing, or a new \
+                     speedup report lacks a committed floor",
+                    checks.len() + unfloored_keys.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("regression gate: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,8 +1,11 @@
-//! Minimal JSON value type and serializer for experiment reports.
+//! Minimal JSON value type, serializer and parser for experiment reports.
 //!
 //! The build environment has no crates.io access, so `serde_json` is not
-//! available; reports only ever need to *emit* JSON (never parse it), which
-//! this small module covers.
+//! available. Reports *emit* JSON through [`Value::to_string_pretty`]; the
+//! bench regression gate *parses* `BENCH_walks.json` and the committed
+//! baselines back in through [`Value::parse`] — a small recursive-descent
+//! parser covering the full JSON grammar (sufficient for, and tested
+//! against, everything the serializer can produce).
 
 use std::fmt::Write as _;
 
@@ -46,6 +49,22 @@ impl Value {
             Value::Number(x) => Some(*x),
             _ => None,
         }
+    }
+
+    /// Parses a JSON document. Returns a human-readable error (with byte
+    /// offset) on malformed input or trailing garbage.
+    pub fn parse(text: &str) -> Result<Value, ParseError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after JSON value"));
+        }
+        Ok(value)
     }
 
     /// Serializes with two-space indentation and a trailing newline-free
@@ -103,6 +122,204 @@ impl Value {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Error raised by [`Value::parse`]: what went wrong and the byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the malformed construct.
+    pub message: String,
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') if self.consume_literal("null") => Ok(Value::Null),
+            Some(b't') if self.consume_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.consume_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("malformed \\u escape"))?;
+                            // Surrogate pairs are not emitted by the writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("unknown escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(lead) => {
+                    // Consume one UTF-8 character. The input is a `&str` and
+                    // this arm starts at a character boundary, so the lead
+                    // byte alone determines the width — O(1), no
+                    // re-validation of the remaining input.
+                    let ch_len = match lead {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let rest = &self.bytes[self.pos..self.pos + ch_len];
+                    out.push_str(std::str::from_utf8(rest).expect("input is valid UTF-8"));
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|x| x.is_finite())
+            .map(Value::Number)
+            .ok_or_else(|| self.error("malformed number"))
     }
 }
 
@@ -252,6 +469,65 @@ mod tests {
         assert_eq!(v["cols"].as_array().unwrap().len(), 2);
         assert_eq!(v["missing"], Value::Null);
         assert_eq!(v["cols"][99], Value::Null);
+    }
+
+    #[test]
+    fn parse_round_trips_serializer_output() {
+        let v = object([
+            ("name", Value::from("walks \"quoted\" \\ path\nline")),
+            ("count", Value::from(3usize)),
+            ("ratio", Value::from(-0.5)),
+            ("big", Value::from(1.5e12)),
+            ("flag", Value::from(true)),
+            ("nothing", Value::Null),
+            ("tags", Value::from(vec!["a", "b"])),
+            ("empty_arr", Value::Array(vec![])),
+            ("empty_obj", Value::Object(vec![])),
+            (
+                "nested",
+                object([("rows", Value::from(vec![1.0, 2.25, 3.5]))]),
+            ),
+        ]);
+        let parsed = Value::parse(&v.to_string_pretty()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parse_handles_multibyte_utf8_strings() {
+        // The bench titles contain multi-byte characters ("Barabási–Albert");
+        // the width-from-lead-byte fast path must walk them correctly.
+        let v = Value::parse(r#"{"title": "Barabási–Albert ≥2x 🚀"}"#).unwrap();
+        assert_eq!(v["title"], "Barabási–Albert ≥2x 🚀");
+        let round_trip = Value::parse(&v.to_string_pretty()).unwrap();
+        assert_eq!(round_trip, v);
+    }
+
+    #[test]
+    fn parse_accepts_compact_json() {
+        let v = Value::parse(r#"{"a":[1,2.5,-3e2],"b":{"c":"A"},"d":false}"#).unwrap();
+        assert_eq!(v["a"][2].as_f64(), Some(-300.0));
+        assert_eq!(v["b"]["c"], "A");
+        assert_eq!(v["d"], Value::Bool(false));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "1 2",
+            "\"unterminated",
+            "[1] trailing",
+            "{\"a\": 1e999}",
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted malformed: {bad:?}");
+        }
+        let err = Value::parse("[1, }").unwrap_err();
+        assert!(err.to_string().contains("at byte"));
     }
 
     #[test]

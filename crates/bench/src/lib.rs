@@ -1,10 +1,12 @@
 //! Shared infrastructure for the experiment harness and the Criterion
 //! micro-benchmarks: dataset stand-ins at benchmark scale, table formatting,
-//! and JSON result export.
+//! JSON result export/parsing, and the CI throughput-regression gate.
 
 pub mod datasets;
+pub mod gate;
 pub mod json;
 pub mod report;
 
 pub use datasets::{bench_dataset, labelled_dataset, BenchScale};
+pub use gate::{collect_speedups, evaluate, unfloored, Baselines, GateCheck};
 pub use report::{Report, Row};

@@ -4,17 +4,30 @@
 //! superstep each machine processes the messages addressed to it and emits
 //! messages for the next superstep; machines synchronize at the superstep
 //! boundary. [`run_bsp`] reproduces this scheme with one OS thread per
-//! machine per superstep and accounts every cross-machine message through
-//! [`CommStats`].
+//! machine — by default a **persistent worker pool** created once per
+//! invocation and reused for every superstep ([`ExecutionBackend::Pool`],
+//! see [`pool`](crate::pool)); the original spawn-one-thread-per-machine-
+//! per-superstep scheme is retained as [`ExecutionBackend::SpawnPerStep`]
+//! and selectable through [`run_bsp_with`]. Every cross-machine message is
+//! accounted through [`CommStats`], and the coordination overhead of the
+//! superstep boundaries themselves is reported as
+//! [`BspOutcome::sync_secs`].
 //!
 //! The message queues are **double-buffered**: every machine owns a
 //! persistent [`Outbox`] whose per-destination queues survive across
 //! supersteps, and inboxes are refilled by *moving* messages out of those
 //! queues at the superstep boundary ([`Vec::append`] keeps both allocations
 //! alive). After the first few supersteps the exchange runs without any
-//! queue reallocation — the steady state is allocation-free.
+//! queue reallocation — the steady state is allocation-free. Both backends
+//! perform the exchange in the same machine order, so inbox contents — and
+//! therefore entire runs — are bit-identical between them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use crate::comm::{CommStats, MessageSize};
+use crate::pool::{run_rounds, ExecutionBackend};
 use crate::MachineId;
 
 /// Per-machine outgoing message buffer handed to the step function.
@@ -79,10 +92,44 @@ pub struct BspOutcome<S> {
     pub comm: CommStats,
     /// Number of supersteps executed.
     pub supersteps: u64,
+    /// Wall-clock thread-coordination overhead of the superstep boundaries:
+    /// per superstep, the wall time of the concurrent compute phase minus the
+    /// slowest machine's compute time, summed over supersteps. For the pool
+    /// backend this is the barrier-crossing cost; for spawn-per-step it is
+    /// the thread spawn/join cost the pool exists to eliminate. The message
+    /// exchange itself runs on the coordinator between supersteps and is not
+    /// included (it is identical work under both backends).
+    pub sync_secs: f64,
+}
+
+/// Runs BSP supersteps until no machine has pending messages, on the default
+/// [`ExecutionBackend::Pool`]. See [`run_bsp_with`].
+pub fn run_bsp<S, M, F>(
+    states: Vec<S>,
+    initial: Vec<Vec<M>>,
+    max_supersteps: u64,
+    step: F,
+) -> BspOutcome<S>
+where
+    S: Send,
+    M: MessageSize + Send,
+    F: for<'a> Fn(MachineId, &mut S, Mailbox<'a, M>, &mut Outbox<M>) + Sync,
+{
+    run_bsp_with(
+        ExecutionBackend::Pool,
+        states,
+        initial,
+        max_supersteps,
+        step,
+    )
 }
 
 /// Runs BSP supersteps until no machine has pending messages.
 ///
+/// * `backend` — how machine threads are managed across supersteps:
+///   a persistent worker pool ([`ExecutionBackend::Pool`], the default used
+///   by [`run_bsp`]) or one fresh thread per machine per superstep
+///   ([`ExecutionBackend::SpawnPerStep`], the reference).
 /// * `states` — one mutable state per machine (e.g. its graph partition plus
 ///   local walker bookkeeping).
 /// * `initial` — initial messages per machine (superstep 0 input).
@@ -90,13 +137,19 @@ pub struct BspOutcome<S> {
 ///   `step(machine, &mut state, mailbox, &mut outbox)`; it may emit messages
 ///   to any machine through the outbox.
 ///
-/// Machines run concurrently on scoped threads within a superstep; the
-/// superstep boundary is the natural barrier (thread join).
+/// Machines run concurrently within a superstep; the superstep boundary is a
+/// barrier (a [`pool::EpochBarrier`](crate::pool::EpochBarrier) generation
+/// for the pool, a thread join for spawn-per-step). Both backends produce
+/// bit-identical message schedules and final states.
 ///
 /// # Panics
 /// Panics if `states.len() != initial.len()`, if there are zero machines, or
-/// if the run exceeds `max_supersteps` (a runaway-loop guard).
-pub fn run_bsp<S, M, F>(
+/// if the run exceeds `max_supersteps` (a runaway-loop guard). A panic inside
+/// `step` propagates to the caller with either backend; the pool's poisoned
+/// barrier guarantees the surviving workers shut down instead of
+/// deadlocking.
+pub fn run_bsp_with<S, M, F>(
+    backend: ExecutionBackend,
     states: Vec<S>,
     initial: Vec<Vec<M>>,
     max_supersteps: u64,
@@ -110,7 +163,127 @@ where
     let num_machines = states.len();
     assert!(num_machines > 0, "need at least one machine");
     assert_eq!(states.len(), initial.len(), "one inbox per machine");
+    match backend {
+        ExecutionBackend::Pool => run_bsp_pooled(states, initial, max_supersteps, step),
+        ExecutionBackend::SpawnPerStep => {
+            run_bsp_spawn_per_step(states, initial, max_supersteps, step)
+        }
+    }
+}
 
+/// One machine's mutable triple. Workers lock their own slot during the
+/// compute phase and the coordinator locks slots during the exchange phase;
+/// the phases never overlap (the pool barrier separates them), so the
+/// mutexes exist to satisfy the borrow checker and are never contended.
+struct MachineSlot<S, M> {
+    state: S,
+    inbox: Vec<M>,
+    outbox: Outbox<M>,
+}
+
+/// The pool backend: `num_machines` persistent worker threads, one pinned to
+/// each machine index, separated from the coordinator's exchange phase by a
+/// reusable two-phase barrier (see [`pool::run_rounds`](crate::pool::run_rounds)).
+fn run_bsp_pooled<S, M, F>(
+    states: Vec<S>,
+    initial: Vec<Vec<M>>,
+    max_supersteps: u64,
+    step: F,
+) -> BspOutcome<S>
+where
+    S: Send,
+    M: MessageSize + Send,
+    F: for<'a> Fn(MachineId, &mut S, Mailbox<'a, M>, &mut Outbox<M>) + Sync,
+{
+    let num_machines = states.len();
+    let slots: Vec<Mutex<MachineSlot<S, M>>> = states
+        .into_iter()
+        .zip(initial)
+        .enumerate()
+        .map(|(machine, (state, inbox))| {
+            Mutex::new(MachineSlot {
+                state,
+                inbox,
+                outbox: Outbox::new(machine, num_machines),
+            })
+        })
+        .collect();
+
+    let stats = run_rounds(
+        num_machines,
+        |superstep| {
+            // Exchange phase for the superstep that just finished: move
+            // queued messages into the (drained) inboxes in ascending source
+            // order, exactly like the spawn-per-step boundary, so inbox
+            // contents are bit-identical across backends. `append` transfers
+            // elements and keeps both allocations.
+            if superstep > 0 {
+                for src in 0..num_machines {
+                    let mut src_slot = slots[src].lock().unwrap();
+                    let src_slot = &mut *src_slot;
+                    // Self-delivery inside the same slot (re-locking `src`
+                    // would deadlock), then every other destination.
+                    src_slot.inbox.append(&mut src_slot.outbox.queues[src]);
+                    for (dest, dest_slot) in slots.iter().enumerate() {
+                        if dest == src {
+                            continue;
+                        }
+                        let mut dest_slot = dest_slot.lock().unwrap();
+                        dest_slot.inbox.append(&mut src_slot.outbox.queues[dest]);
+                    }
+                }
+            }
+            let pending = slots
+                .iter()
+                .any(|slot| !slot.lock().unwrap().inbox.is_empty());
+            if pending {
+                assert!(
+                    superstep < max_supersteps,
+                    "BSP exceeded {max_supersteps} supersteps — runaway walk?"
+                );
+            }
+            pending
+        },
+        |machine, _superstep| {
+            let mut slot = slots[machine].lock().unwrap();
+            let slot = &mut *slot;
+            let mailbox = Mailbox {
+                messages: slot.inbox.drain(..),
+            };
+            step(machine, &mut slot.state, mailbox, &mut slot.outbox);
+        },
+    );
+
+    let mut comm = CommStats::new();
+    let mut states = Vec::with_capacity(num_machines);
+    for slot in slots {
+        let slot = slot.into_inner().unwrap();
+        comm.merge(&slot.outbox.stats);
+        states.push(slot.state);
+    }
+    comm.supersteps = stats.rounds;
+    BspOutcome {
+        states,
+        comm,
+        supersteps: stats.rounds,
+        sync_secs: stats.sync_secs,
+    }
+}
+
+/// The reference backend: one fresh OS thread per machine per superstep, the
+/// superstep boundary being the thread join.
+fn run_bsp_spawn_per_step<S, M, F>(
+    states: Vec<S>,
+    initial: Vec<Vec<M>>,
+    max_supersteps: u64,
+    step: F,
+) -> BspOutcome<S>
+where
+    S: Send,
+    M: MessageSize + Send,
+    F: for<'a> Fn(MachineId, &mut S, Mailbox<'a, M>, &mut Outbox<M>) + Sync,
+{
+    let num_machines = states.len();
     let mut states = states;
     let mut inboxes: Vec<Vec<M>> = initial;
     // One persistent outbox per machine: queue capacity is recycled across
@@ -119,6 +292,10 @@ where
         .map(|machine| Outbox::new(machine, num_machines))
         .collect();
     let mut supersteps: u64 = 0;
+    let mut sync_secs = 0.0f64;
+    // Per-machine compute time of the current superstep, for the same
+    // `wall - slowest` overhead accounting the pool backend reports.
+    let compute_nanos: Vec<AtomicU64> = (0..num_machines).map(|_| AtomicU64::new(0)).collect();
 
     while inboxes.iter().any(|q| !q.is_empty()) {
         assert!(
@@ -127,8 +304,9 @@ where
         );
         supersteps += 1;
 
-        // Run every machine on its own scoped thread for this superstep.
+        // Run every machine on its own freshly spawned scoped thread.
         let step_ref = &step;
+        let superstep_started = Instant::now();
         std::thread::scope(|scope| {
             let handles: Vec<_> = states
                 .iter_mut()
@@ -136,11 +314,14 @@ where
                 .zip(outboxes.iter_mut())
                 .enumerate()
                 .map(|(machine, ((state, inbox), outbox))| {
+                    let slot = &compute_nanos[machine];
                     scope.spawn(move || {
+                        let started = Instant::now();
                         let mailbox = Mailbox {
                             messages: inbox.drain(..),
                         };
                         step_ref(machine, state, mailbox, outbox);
+                        slot.store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     })
                 })
                 .collect();
@@ -148,6 +329,14 @@ where
                 handle.join().expect("BSP worker thread panicked");
             }
         });
+        let wall = superstep_started.elapsed().as_secs_f64();
+        let slowest = compute_nanos
+            .iter()
+            .map(|nanos| nanos.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0) as f64
+            / 1e9;
+        sync_secs += (wall - slowest).max(0.0);
 
         // Superstep boundary: move queued messages into the (now empty)
         // inboxes. `append` transfers elements and keeps both allocations.
@@ -167,6 +356,7 @@ where
         states,
         comm,
         supersteps,
+        sync_secs,
     }
 }
 
@@ -185,38 +375,99 @@ mod tests {
         }
     }
 
+    const BACKENDS: [ExecutionBackend; 2] =
+        [ExecutionBackend::Pool, ExecutionBackend::SpawnPerStep];
+
     #[test]
-    fn token_ring_counts_messages() {
-        let machines = 4;
-        let states: Vec<u64> = vec![0; machines]; // counts tokens seen
-        let initial: Vec<Vec<Token>> = (0..machines)
-            .map(|m| {
-                if m == 0 {
-                    vec![Token { remaining: 7 }]
-                } else {
-                    Vec::new()
-                }
-            })
-            .collect();
-        let outcome = run_bsp(states, initial, 1000, |machine, state, mailbox, outbox| {
-            for token in mailbox.messages {
-                *state += 1;
-                if token.remaining > 0 {
-                    let next = (machine + 1) % machines;
-                    outbox.send(
-                        next,
-                        Token {
-                            remaining: token.remaining - 1,
-                        },
-                    );
-                }
-            }
-        });
-        // The token visits 8 machines in total (initial + 7 hops).
-        assert_eq!(outcome.states.iter().sum::<u64>(), 8);
-        assert_eq!(outcome.comm.messages, 7);
-        assert_eq!(outcome.comm.bytes, 7 * 16);
-        assert_eq!(outcome.supersteps, 8);
+    fn token_ring_counts_messages_on_both_backends() {
+        for backend in BACKENDS {
+            let machines = 4;
+            let states: Vec<u64> = vec![0; machines]; // counts tokens seen
+            let initial: Vec<Vec<Token>> = (0..machines)
+                .map(|m| {
+                    if m == 0 {
+                        vec![Token { remaining: 7 }]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            let outcome = run_bsp_with(
+                backend,
+                states,
+                initial,
+                1000,
+                |machine, state, mailbox, outbox| {
+                    for token in mailbox.messages {
+                        *state += 1;
+                        if token.remaining > 0 {
+                            let next = (machine + 1) % machines;
+                            outbox.send(
+                                next,
+                                Token {
+                                    remaining: token.remaining - 1,
+                                },
+                            );
+                        }
+                    }
+                },
+            );
+            // The token visits 8 machines in total (initial + 7 hops).
+            assert_eq!(outcome.states.iter().sum::<u64>(), 8);
+            assert_eq!(outcome.comm.messages, 7);
+            assert_eq!(outcome.comm.bytes, 7 * 16);
+            assert_eq!(outcome.supersteps, 8);
+            assert!(outcome.sync_secs >= 0.0, "{}", backend.name());
+        }
+    }
+
+    /// The exchange order — and therefore the inbox message order every step
+    /// function observes — must be identical across backends.
+    #[test]
+    fn backends_deliver_identical_message_orders() {
+        // Every machine floods every machine for a few supersteps; states
+        // record the exact observation order as (superstep, payload) pairs.
+        let run = |backend| {
+            let machines = 3;
+            let states: Vec<Vec<u32>> = vec![Vec::new(); machines];
+            let initial: Vec<Vec<Token>> = (0..machines)
+                .map(|m| {
+                    vec![Token {
+                        remaining: 3 + m as u32,
+                    }]
+                })
+                .collect();
+            run_bsp_with(
+                backend,
+                states,
+                initial,
+                100,
+                |machine, state, mailbox, outbox| {
+                    for token in mailbox.messages {
+                        state.push(token.remaining);
+                        if token.remaining > 0 {
+                            outbox.send(
+                                (machine + 1) % machines,
+                                Token {
+                                    remaining: token.remaining - 1,
+                                },
+                            );
+                            outbox.send(
+                                (machine + 2) % machines,
+                                Token {
+                                    remaining: token.remaining - 1,
+                                },
+                            );
+                        }
+                    }
+                },
+            )
+        };
+        let pool = run(ExecutionBackend::Pool);
+        let spawn = run(ExecutionBackend::SpawnPerStep);
+        assert_eq!(pool.states, spawn.states);
+        assert_eq!(pool.comm, spawn.comm);
+        assert_eq!(pool.supersteps, spawn.supersteps);
     }
 
     #[test]
@@ -264,5 +515,59 @@ mod tests {
                 outbox.send(1 - machine, Token { remaining: 1 });
             }
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "supersteps")]
+    fn runaway_loop_is_capped_with_spawn_per_step() {
+        let states = vec![(), ()];
+        let initial = vec![vec![Token { remaining: 1 }], vec![]];
+        run_bsp_with(
+            ExecutionBackend::SpawnPerStep,
+            states,
+            initial,
+            5,
+            |machine, _, mailbox, outbox| {
+                for _ in mailbox.messages {
+                    outbox.send(1 - machine, Token { remaining: 1 });
+                }
+            },
+        );
+    }
+
+    /// A panicking machine must poison the pool's barrier so the other
+    /// workers shut down and the panic propagates — not deadlock the run.
+    #[test]
+    #[should_panic(expected = "machine 2 step failed")]
+    fn pool_worker_panic_propagates_instead_of_deadlocking() {
+        let machines = 4;
+        let states = vec![0u64; machines];
+        // Every machine gets work, so all four workers are live inside the
+        // superstep when machine 2 panics.
+        let initial: Vec<Vec<Token>> = (0..machines)
+            .map(|_| vec![Token { remaining: 4 }])
+            .collect();
+        run_bsp_with(
+            ExecutionBackend::Pool,
+            states,
+            initial,
+            100,
+            |machine, state, mailbox, outbox| {
+                for token in mailbox.messages {
+                    *state += 1;
+                    if *state >= 2 && machine == 2 {
+                        panic!("machine 2 step failed");
+                    }
+                    if token.remaining > 0 {
+                        outbox.send(
+                            (machine + 1) % machines,
+                            Token {
+                                remaining: token.remaining - 1,
+                            },
+                        );
+                    }
+                }
+            },
+        );
     }
 }

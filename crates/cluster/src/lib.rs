@@ -8,7 +8,10 @@
 //!   by a `distger-partition` [`Partitioning`](distger_partition::Partitioning);
 //! * **Bulk Synchronous Parallel** supersteps ([`bsp`]) in which machines do
 //!   local work concurrently (real OS threads) and exchange messages at the
-//!   superstep boundary, exactly like KnightKing's walker engine (§2.2);
+//!   superstep boundary, exactly like KnightKing's walker engine (§2.2) —
+//!   executed by default on a persistent, barrier-coordinated worker
+//!   [`pool`] so a superstep boundary costs two barrier crossings instead
+//!   of `N` thread spawns and joins;
 //! * per-machine **communication accounting** ([`comm`]): every cross-machine
 //!   message is counted with an explicit byte size, and an analytic
 //!   [`NetworkModel`] converts the traffic into modelled communication time;
@@ -19,12 +22,14 @@ pub mod bsp;
 pub mod comm;
 pub mod config;
 pub mod memory;
+pub mod pool;
 pub mod timer;
 
-pub use bsp::{run_bsp, BspOutcome, Mailbox, Outbox};
+pub use bsp::{run_bsp, run_bsp_with, BspOutcome, Mailbox, Outbox};
 pub use comm::{CommStats, MessageSize, NetworkModel};
 pub use config::ClusterConfig;
 pub use memory::MemoryEstimate;
+pub use pool::{run_rounds, EpochBarrier, ExecutionBackend, PoolStats};
 pub use timer::{PhaseTimes, Stopwatch};
 
 /// Identifier of a simulated machine (re-exported from `distger-partition` so

@@ -1,6 +1,8 @@
 //! The end-to-end DistGER pipeline: partition → sample → learn.
 
-use distger_cluster::{ClusterConfig, CommStats, MemoryEstimate, PhaseTimes, Stopwatch};
+use distger_cluster::{
+    ClusterConfig, CommStats, ExecutionBackend, MemoryEstimate, PhaseTimes, Stopwatch,
+};
 use distger_embed::{train_distributed, Embeddings, TrainStats, TrainerConfig, TrainerKind};
 use distger_graph::CsrGraph;
 use distger_partition::{
@@ -156,6 +158,20 @@ impl DistGerConfig {
         self.walks.sampling_backend = backend;
         self
     }
+
+    /// Builder-style superstep-execution backend override, applied to both
+    /// BSP phases (walk engine and trainer) — like
+    /// [`with_seed`](DistGerConfig::with_seed), one call keeps the phases
+    /// consistent, while a directly assigned `walks.execution` /
+    /// `training.execution` field is honored per phase (mirroring how
+    /// `freq_backend` / `sampling_backend` behave). The default everywhere
+    /// is [`ExecutionBackend::Pool`]; the reference
+    /// [`ExecutionBackend::SpawnPerStep`] is retained for A/B comparisons.
+    pub fn with_execution_backend(mut self, execution: ExecutionBackend) -> Self {
+        self.walks.execution = execution;
+        self.training.execution = execution;
+        self
+    }
 }
 
 /// Everything measured during one end-to-end run.
@@ -171,6 +187,11 @@ pub struct PipelineResult {
     pub local_edge_fraction: f64,
     /// Cross-machine traffic of the random-walk phase.
     pub walk_comm: CommStats,
+    /// BSP superstep coordination overhead of the walk phase in seconds (see
+    /// [`distger_walks::WalkResult::superstep_sync_secs`]); the training
+    /// phase's equivalent lives in
+    /// [`TrainStats::superstep_sync_secs`](distger_embed::TrainStats).
+    pub walk_superstep_sync_secs: f64,
     /// Number of walks per node actually executed.
     pub walk_rounds: usize,
     /// Average walk length of the sampled corpus.
@@ -254,6 +275,7 @@ pub fn run_pipeline(graph: &CsrGraph, config: &DistGerConfig) -> PipelineResult 
         local_edge_fraction: partitioning.local_edge_fraction(graph),
         partitioning,
         walk_comm: walk_result.comm.clone(),
+        walk_superstep_sync_secs: walk_result.superstep_sync_secs,
         walk_rounds: walk_result.rounds,
         avg_walk_length: walk_result.avg_walk_length(),
         corpus_tokens: walk_result.corpus.total_tokens(),
@@ -300,6 +322,25 @@ mod tests {
             auc > 0.75,
             "DistGER embeddings should predict links well, got AUC {auc}"
         );
+    }
+
+    #[test]
+    fn execution_backends_sample_identical_corpora_end_to_end() {
+        let g = barabasi_albert(300, 4, 13);
+        let base = DistGerConfig::distger(4).small().with_seed(7);
+        let pool = run_pipeline(&g, &base);
+        let spawn = run_pipeline(
+            &g,
+            &base.with_execution_backend(ExecutionBackend::SpawnPerStep),
+        );
+        // The sampler is deterministic across backends; training adds
+        // Hogwild races, so the corpus and walk traffic are the equality
+        // surface here.
+        assert_eq!(pool.corpus_tokens, spawn.corpus_tokens);
+        assert_eq!(pool.walk_comm, spawn.walk_comm);
+        assert_eq!(pool.walk_rounds, spawn.walk_rounds);
+        assert!(pool.walk_superstep_sync_secs >= 0.0);
+        assert!(spawn.walk_superstep_sync_secs > 0.0);
     }
 
     #[test]

@@ -66,7 +66,12 @@ pub fn select_sync_ranks(strategy: SyncStrategy, vocab: &Vocab, rng: &mut SplitM
 /// the averaged values back to every replica. Records the induced traffic in
 /// `comm`: every synchronized row travels from each machine to the reducer and
 /// back, i.e. `2 · m` messages of `d · 4` bytes per matrix row.
-pub fn synchronize_replicas(replicas: &mut [ModelReplica], ranks: &[u32], comm: &mut CommStats) {
+///
+/// Takes the replicas by shared reference: [`HogwildMatrix`] rows are
+/// interior-mutable by design, which lets the trainer's pooled coordinator
+/// synchronize while its workers still hold `&` borrows of the replica slice
+/// (the pool barrier guarantees the phases never overlap).
+pub fn synchronize_replicas(replicas: &[ModelReplica], ranks: &[u32], comm: &mut CommStats) {
     let m = replicas.len();
     if m <= 1 || ranks.is_empty() {
         return;
@@ -91,7 +96,7 @@ pub fn synchronize_replicas(replicas: &mut [ModelReplica], ranks: &[u32], comm: 
             for a in avg.iter_mut() {
                 *a /= m as f32;
             }
-            for replica in replicas.iter_mut() {
+            for replica in replicas.iter() {
                 let matrix = if matrix_idx == 0 {
                     &replica.phi_in
                 } else {
@@ -161,11 +166,11 @@ mod tests {
 
     #[test]
     fn synchronization_averages_rows_and_counts_traffic() {
-        let mut replicas = vec![ModelReplica::new(4, 2, 7), ModelReplica::new(4, 2, 7)];
+        let replicas = vec![ModelReplica::new(4, 2, 7), ModelReplica::new(4, 2, 7)];
         replicas[0].phi_in.store_row(1, &[1.0, 3.0]);
         replicas[1].phi_in.store_row(1, &[3.0, 5.0]);
         let mut comm = CommStats::new();
-        synchronize_replicas(&mut replicas, &[1], &mut comm);
+        synchronize_replicas(&replicas, &[1], &mut comm);
         let mut buf = [0.0f32; 2];
         replicas[0].phi_in.copy_row_into(1, &mut buf);
         assert_eq!(buf, [2.0, 4.0]);
@@ -178,9 +183,9 @@ mod tests {
 
     #[test]
     fn single_machine_sync_is_a_no_op() {
-        let mut replicas = vec![ModelReplica::new(3, 2, 1)];
+        let replicas = vec![ModelReplica::new(3, 2, 1)];
         let mut comm = CommStats::new();
-        synchronize_replicas(&mut replicas, &[0, 1, 2], &mut comm);
+        synchronize_replicas(&replicas, &[0, 1, 2], &mut comm);
         assert_eq!(comm.messages, 0);
     }
 

@@ -4,10 +4,15 @@
 //! a full model replica, trains on its shard with the configured trainer kind
 //! and thread count, and periodically synchronizes parameters with the other
 //! machines (full or hotness-block). The machines of the simulated cluster
-//! run as real concurrent threads; the synchronization traffic is accounted
-//! through [`CommStats`].
+//! run as real concurrent threads — by default on the persistent
+//! barrier-coordinated worker pool of `distger-cluster` (one thread per
+//! machine for the whole run, [`ExecutionBackend::Pool`]); the original
+//! spawn-per-chunk scheme is retained as
+//! [`ExecutionBackend::SpawnPerStep`]. The synchronization traffic is
+//! accounted through [`CommStats`] and the thread-coordination overhead
+//! through [`TrainStats::superstep_sync_secs`].
 
-use distger_cluster::CommStats;
+use distger_cluster::{run_rounds, CommStats, ExecutionBackend};
 use distger_walks::rng::SplitMix64;
 use distger_walks::Corpus;
 
@@ -71,6 +76,11 @@ pub struct TrainerConfig {
     pub sync_rounds_per_epoch: usize,
     /// Worker threads per machine.
     pub threads: usize,
+    /// How machine threads are managed across training chunks:
+    /// [`ExecutionBackend::Pool`] (one persistent thread per machine, the
+    /// optimized default) or [`ExecutionBackend::SpawnPerStep`] (fresh
+    /// threads per chunk, the reference).
+    pub execution: ExecutionBackend,
     /// Seed for initialization and negative sampling.
     pub seed: u64,
 }
@@ -88,6 +98,7 @@ impl Default for TrainerConfig {
             sync: SyncStrategy::HotnessBlock,
             sync_rounds_per_epoch: 4,
             threads: 2,
+            execution: ExecutionBackend::Pool,
             seed: 0,
         }
     }
@@ -129,6 +140,12 @@ impl TrainerConfig {
         self.seed = seed;
         self
     }
+
+    /// Builder-style execution-backend override.
+    pub fn with_execution(mut self, execution: ExecutionBackend) -> Self {
+        self.execution = execution;
+        self
+    }
 }
 
 /// Statistics of one distributed training run.
@@ -144,6 +161,15 @@ pub struct TrainStats {
     pub throughput_pairs_per_sec: f64,
     /// Synchronization traffic.
     pub sync_comm: CommStats,
+    /// Wall-clock thread-coordination overhead summed over training chunks:
+    /// per chunk, the wall time of the concurrent compute phase minus the
+    /// slowest machine's compute time. Under [`ExecutionBackend::Pool`] this
+    /// is the barrier-crossing cost; under
+    /// [`ExecutionBackend::SpawnPerStep`] it is the per-chunk thread
+    /// spawn/join cost. The coordinator-side parameter synchronization
+    /// between chunks is excluded (identical work under both backends;
+    /// its traffic is `sync_comm`).
+    pub superstep_sync_secs: f64,
     /// Average per-machine training-phase memory footprint in bytes (model
     /// replica + negative table + corpus shard + local buffers).
     pub avg_machine_memory_bytes: usize,
@@ -182,7 +208,7 @@ pub fn train_distributed(
         })
         .collect();
 
-    let mut replicas: Vec<ModelReplica> = (0..num_machines)
+    let replicas: Vec<ModelReplica> = (0..num_machines)
         .map(|_| ModelReplica::new(n, config.dim, config.seed))
         .collect();
 
@@ -192,51 +218,113 @@ pub fn train_distributed(
     let mut pairs_processed = 0u64;
     let mut peak_buffer_bytes = 0usize;
 
-    let start = std::time::Instant::now();
-    for chunk in 0..total_chunks {
+    // The learning-rate schedule is a pure function of the chunk index, so
+    // pooled workers compute it locally without coordinator hand-off.
+    let lr_for = |chunk: usize| {
         let progress = chunk as f32 / total_chunks as f32;
-        let lr =
-            config.learning_rate - (config.learning_rate - config.min_learning_rate) * progress;
-        let slice_idx = chunk % config.sync_rounds_per_epoch.max(1);
+        config.learning_rate - (config.learning_rate - config.min_learning_rate) * progress
+    };
 
-        // Machines run concurrently, each training its shard slice.
-        let chunk_results: Vec<(u64, usize)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = replicas
-                .iter()
-                .zip(shards.iter())
-                .enumerate()
-                .map(|(machine, (replica, shard))| {
-                    let vocab_ref = &table;
-                    let sigmoid_ref = &sigmoid;
-                    scope.spawn(move || {
-                        let slice = epoch_slice(shard, slice_idx, config.sync_rounds_per_epoch);
-                        train_machine_chunk(
-                            replica,
-                            slice,
-                            vocab_ref,
-                            sigmoid_ref,
-                            config,
-                            lr,
-                            machine as u64,
-                        )
-                    })
-                })
+    let start = std::time::Instant::now();
+    let superstep_sync_secs = match config.execution {
+        ExecutionBackend::Pool => {
+            // One persistent worker per machine for the whole run. Workers
+            // hold `&replicas[machine]` (Hogwild matrices are
+            // interior-mutable); the coordinator synchronizes parameters
+            // between chunks while the workers are parked at the barrier.
+            let chunk_results: Vec<std::sync::Mutex<(u64, usize)>> = (0..num_machines)
+                .map(|_| std::sync::Mutex::new((0, 0)))
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("training thread panicked"))
-                .collect()
-        });
-
-        for (pairs, buffer_bytes) in chunk_results {
-            pairs_processed += pairs;
-            peak_buffer_bytes = peak_buffer_bytes.max(buffer_bytes);
+            let pool_stats = run_rounds(
+                num_machines,
+                |chunk| {
+                    if chunk > 0 {
+                        for slot in &chunk_results {
+                            let (pairs, buffer_bytes) = *slot.lock().unwrap();
+                            pairs_processed += pairs;
+                            peak_buffer_bytes = peak_buffer_bytes.max(buffer_bytes);
+                        }
+                        // Synchronize parameters across machines.
+                        let ranks = select_sync_ranks(config.sync, &vocab, &mut sync_rng);
+                        synchronize_replicas(&replicas, &ranks, &mut sync_comm);
+                    }
+                    (chunk as usize) < total_chunks
+                },
+                |machine, chunk| {
+                    let chunk = chunk as usize;
+                    let slice_idx = chunk % config.sync_rounds_per_epoch.max(1);
+                    let slice =
+                        epoch_slice(&shards[machine], slice_idx, config.sync_rounds_per_epoch);
+                    let result = train_machine_chunk(
+                        &replicas[machine],
+                        slice,
+                        &table,
+                        &sigmoid,
+                        config,
+                        lr_for(chunk),
+                        machine as u64,
+                    );
+                    *chunk_results[machine].lock().unwrap() = result;
+                },
+            );
+            pool_stats.sync_secs
         }
+        ExecutionBackend::SpawnPerStep => {
+            let mut sync_secs = 0.0f64;
+            for chunk in 0..total_chunks {
+                let lr = lr_for(chunk);
+                let slice_idx = chunk % config.sync_rounds_per_epoch.max(1);
 
-        // Synchronize parameters across machines.
-        let ranks = select_sync_ranks(config.sync, &vocab, &mut sync_rng);
-        synchronize_replicas(&mut replicas, &ranks, &mut sync_comm);
-    }
+                // Machines run concurrently on freshly spawned threads, each
+                // training its shard slice.
+                let chunk_started = std::time::Instant::now();
+                let chunk_results: Vec<(u64, usize, f64)> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = replicas
+                        .iter()
+                        .zip(shards.iter())
+                        .enumerate()
+                        .map(|(machine, (replica, shard))| {
+                            let vocab_ref = &table;
+                            let sigmoid_ref = &sigmoid;
+                            scope.spawn(move || {
+                                let compute_started = std::time::Instant::now();
+                                let slice =
+                                    epoch_slice(shard, slice_idx, config.sync_rounds_per_epoch);
+                                let (pairs, buffer_bytes) = train_machine_chunk(
+                                    replica,
+                                    slice,
+                                    vocab_ref,
+                                    sigmoid_ref,
+                                    config,
+                                    lr,
+                                    machine as u64,
+                                );
+                                (pairs, buffer_bytes, compute_started.elapsed().as_secs_f64())
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("training thread panicked"))
+                        .collect()
+                });
+                let wall = chunk_started.elapsed().as_secs_f64();
+
+                let mut slowest = 0.0f64;
+                for (pairs, buffer_bytes, compute_secs) in chunk_results {
+                    pairs_processed += pairs;
+                    peak_buffer_bytes = peak_buffer_bytes.max(buffer_bytes);
+                    slowest = slowest.max(compute_secs);
+                }
+                sync_secs += (wall - slowest).max(0.0);
+
+                // Synchronize parameters across machines.
+                let ranks = select_sync_ranks(config.sync, &vocab, &mut sync_rng);
+                synchronize_replicas(&replicas, &ranks, &mut sync_comm);
+            }
+            sync_secs
+        }
+    };
     let training_secs = start.elapsed().as_secs_f64();
 
     // Memory accounting (Table 8): replica + table + shard + local buffers.
@@ -267,6 +355,7 @@ pub fn train_distributed(
             0.0
         },
         sync_comm,
+        superstep_sync_secs,
         avg_machine_memory_bytes,
     };
     (Embeddings::from_node_major(node_major, config.dim), stats)
@@ -425,6 +514,31 @@ mod tests {
             hot_stats.sync_comm.bytes,
             full_stats.sync_comm.bytes
         );
+    }
+
+    #[test]
+    fn execution_backends_produce_identical_models() {
+        // Single-threaded machines: within-machine Hogwild races are off, so
+        // the pooled and spawn-per-chunk schedules must be bit-identical.
+        let corpus = community_corpus();
+        let config = TrainerConfig {
+            threads: 1,
+            ..TrainerConfig::small().with_dim(16)
+        };
+        let (pool, pool_stats) = train_distributed(&corpus, 4, &config);
+        let (spawn, spawn_stats) = train_distributed(
+            &corpus,
+            4,
+            &config.with_execution(ExecutionBackend::SpawnPerStep),
+        );
+        assert_eq!(pool.num_nodes(), spawn.num_nodes());
+        for v in 0..10u32 {
+            assert_eq!(pool.vector(v), spawn.vector(v), "node {v} diverged");
+        }
+        assert_eq!(pool_stats.pairs_processed, spawn_stats.pairs_processed);
+        assert_eq!(pool_stats.sync_comm, spawn_stats.sync_comm);
+        assert!(pool_stats.superstep_sync_secs >= 0.0);
+        assert!(spawn_stats.superstep_sync_secs >= 0.0);
     }
 
     #[test]

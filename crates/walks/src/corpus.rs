@@ -143,17 +143,86 @@ impl Corpus {
 
     /// Splits the corpus into `parts` shards of (nearly) equal token counts,
     /// used to distribute training across machines (§4.2-III).
-    pub fn split(&self, parts: usize) -> Vec<Corpus> {
+    ///
+    /// The shards are **counters-free views** ([`CorpusShard`]): distributed
+    /// training only reads the shard's walks, so the shards do not carry the
+    /// `|V|`-length occurrence-counter vector a full [`Corpus`] maintains —
+    /// saving `parts × |V| × 8` bytes per split (the counters used to be
+    /// cloned into every shard). A shard that does need counters can
+    /// materialize them lazily with [`CorpusShard::into_corpus`].
+    pub fn split(&self, parts: usize) -> Vec<CorpusShard> {
         assert!(parts > 0);
-        let mut shards: Vec<Corpus> = (0..parts).map(|_| Corpus::new(self.num_nodes)).collect();
+        let mut shards: Vec<CorpusShard> = (0..parts)
+            .map(|_| CorpusShard {
+                walks: Vec::new(),
+                num_nodes: self.num_nodes,
+                total_tokens: 0,
+            })
+            .collect();
         let mut loads = vec![0usize; parts];
         for walk in &self.walks {
             // Greedy least-loaded assignment keeps token counts balanced.
             let target = (0..parts).min_by_key(|&i| loads[i]).unwrap();
             loads[target] += walk.len();
-            shards[target].push_walk(walk.clone());
+            shards[target].total_tokens += walk.len() as u64;
+            shards[target].walks.push(walk.clone());
         }
         shards
+    }
+}
+
+/// A counters-free view of one training shard produced by [`Corpus::split`].
+///
+/// Distributed training (§4.2-III) hands every machine a shard and only ever
+/// iterates its walks; the per-node occurrence counters a full [`Corpus`]
+/// maintains incrementally would cost `|V| × 8` bytes *per shard* without a
+/// single read. The shard therefore stores walks and a cached token total
+/// only; the counters are **lazily materialized** — upgrade with
+/// [`into_corpus`](CorpusShard::into_corpus) if a consumer really needs them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CorpusShard {
+    walks: Vec<Vec<NodeId>>,
+    num_nodes: usize,
+    total_tokens: u64,
+}
+
+impl CorpusShard {
+    /// The shard's walks.
+    pub fn walks(&self) -> &[Vec<NodeId>] {
+        &self.walks
+    }
+
+    /// Number of walks in the shard.
+    pub fn num_walks(&self) -> usize {
+        self.walks.len()
+    }
+
+    /// Number of nodes in the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total tokens in the shard (`O(1)`, cached).
+    pub fn total_tokens(&self) -> usize {
+        self.total_tokens as usize
+    }
+
+    /// Estimated resident memory of the shard in bytes — walk storage only,
+    /// with **no** `|V|`-length counter term (compare
+    /// [`Corpus::memory_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        self.walks
+            .iter()
+            .map(|w| w.len() * std::mem::size_of::<NodeId>() + std::mem::size_of::<Vec<NodeId>>())
+            .sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Materializes the occurrence counters, upgrading the view into a full
+    /// [`Corpus`] (one `O(tokens)` pass — this is the lazy path for the rare
+    /// consumer that needs per-node frequencies on a shard).
+    pub fn into_corpus(self) -> Corpus {
+        Corpus::from_walks(self.walks, self.num_nodes)
     }
 }
 
@@ -235,7 +304,7 @@ mod tests {
     }
 
     #[test]
-    fn split_balances_tokens_and_counters() {
+    fn split_balances_tokens_and_preserves_walks() {
         let c = Corpus::from_walks(vec![vec![0; 10], vec![1; 10], vec![2; 2], vec![3; 2]], 4);
         let shards = c.split(2);
         assert_eq!(shards.len(), 2);
@@ -243,10 +312,42 @@ mod tests {
         let t1 = shards[1].total_tokens();
         assert_eq!(t0 + t1, 24);
         assert!((t0 as i64 - t1 as i64).abs() <= 2);
-        // Shard counters must add back up to the original.
+        assert_eq!(shards.iter().map(|s| s.num_walks()).sum::<usize>(), 4);
+        // Materialized shard counters must add back up to the original.
+        let materialized: Vec<Corpus> = shards.into_iter().map(|s| s.into_corpus()).collect();
         let merged: Vec<u64> = (0..4)
-            .map(|v| shards.iter().map(|s| s.frequencies()[v]).sum())
+            .map(|v| materialized.iter().map(|s| s.frequencies()[v]).sum())
             .collect();
         assert_eq!(merged, c.node_frequencies());
+    }
+
+    #[test]
+    fn split_shards_are_counters_free() {
+        // A big vertex set with a tiny corpus: exactly the regime where the
+        // old per-shard counter clone dominated shard memory.
+        let n = 10_000usize;
+        let parts = 4usize;
+        let mut c = Corpus::new(n);
+        for w in 0..20u32 {
+            c.push_walk(vec![w, w + 1, w + 2]);
+        }
+        let shards = c.split(parts);
+        let shard_bytes: usize = shards.iter().map(|s| s.memory_bytes()).sum();
+        let materialized_bytes: usize = shards
+            .iter()
+            .map(|s| s.clone().into_corpus().memory_bytes())
+            .sum();
+        // Dropping the counters saves the full `parts × |V| × 8` bytes the
+        // old Corpus-typed shards cloned into every part.
+        assert!(
+            materialized_bytes - shard_bytes >= parts * n * std::mem::size_of::<u64>(),
+            "expected ≥ {} bytes saved, got {}",
+            parts * n * std::mem::size_of::<u64>(),
+            materialized_bytes - shard_bytes
+        );
+        // The view itself is walk storage plus a constant — no |V| term.
+        for shard in &shards {
+            assert!(shard.memory_bytes() < n);
+        }
     }
 }

@@ -19,7 +19,7 @@
 //! [`WalkEngineConfig`]: per-node alias tables (built once per run, `O(1)`
 //! per draw — the default) or the reference `O(deg)` linear scan.
 
-use distger_cluster::{run_bsp, CommStats, Outbox};
+use distger_cluster::{run_bsp_with, CommStats, ExecutionBackend, Outbox};
 use distger_graph::{stats::degree_distribution, CsrGraph, NodeId};
 use distger_partition::Partitioning;
 
@@ -61,6 +61,13 @@ pub struct WalkEngineConfig {
     /// is the optimized default; [`SamplingBackend::LinearScan`] retains the
     /// original `O(deg)` scan for equivalence tests and benchmarks.
     pub sampling_backend: SamplingBackend,
+    /// How BSP supersteps manage machine threads.
+    /// [`ExecutionBackend::Pool`] (persistent worker pool, one barrier
+    /// crossing pair per superstep) is the optimized default;
+    /// [`ExecutionBackend::SpawnPerStep`] retains the original
+    /// thread-per-machine-per-superstep path for equivalence tests and
+    /// benchmarks. Both produce bit-identical corpora and message traces.
+    pub execution: ExecutionBackend,
     /// Seed for all stochastic choices.
     pub seed: u64,
     /// Safety cap on BSP supersteps per round.
@@ -78,6 +85,7 @@ impl WalkEngineConfig {
             info_mode: InfoMode::Incremental,
             freq_backend: FreqBackend::Flat,
             sampling_backend: SamplingBackend::Alias,
+            execution: ExecutionBackend::Pool,
             seed: 0,
             max_supersteps: 1_000_000,
         }
@@ -93,6 +101,7 @@ impl WalkEngineConfig {
             info_mode: InfoMode::FullPath,
             freq_backend: FreqBackend::Flat,
             sampling_backend: SamplingBackend::Alias,
+            execution: ExecutionBackend::Pool,
             seed: 0,
             max_supersteps: 1_000_000,
         }
@@ -133,6 +142,12 @@ impl WalkEngineConfig {
         self
     }
 
+    /// Builder-style superstep-execution backend override.
+    pub fn with_execution(mut self, execution: ExecutionBackend) -> Self {
+        self.execution = execution;
+        self
+    }
+
     fn needs_info(&self) -> bool {
         self.length.needs_info()
     }
@@ -166,6 +181,15 @@ pub struct WalkResult {
     /// slice covering its own nodes — divide by the machine count for the
     /// per-machine share.
     pub alias_table_bytes: usize,
+    /// Wall-clock seconds of BSP superstep thread-coordination overhead
+    /// summed over all rounds: per superstep, the wall time of the concurrent
+    /// compute phase minus the slowest machine's compute time. Under
+    /// [`ExecutionBackend::Pool`] this is the barrier-crossing cost; under
+    /// [`ExecutionBackend::SpawnPerStep`] it is the per-superstep thread
+    /// spawn/join cost the pool eliminates. The coordinator-side message
+    /// exchange between supersteps is excluded (identical under both
+    /// backends).
+    pub superstep_sync_secs: f64,
     /// Estimated per-machine sampling-phase memory in bytes: transient
     /// walker state, the resident corpus shard, plus this machine's share of
     /// the alias tables.
@@ -259,6 +283,7 @@ pub fn run_distributed_walks(
     let mut comm = CommStats::new();
     let mut trace = Vec::new();
     let mut peak_round_memory = 0usize;
+    let mut superstep_sync_secs = 0.0f64;
 
     let degree_dist = degree_distribution(graph);
 
@@ -290,6 +315,7 @@ pub fn run_distributed_walks(
         let round_result = run_round(graph, partitioning, config, sampler, round as u64);
         comm.merge(&round_result.comm);
         peak_round_memory = peak_round_memory.max(round_result.peak_memory_sum);
+        superstep_sync_secs += round_result.sync_secs;
         corpus.extend(round_result.corpus);
 
         round += 1;
@@ -329,6 +355,7 @@ pub fn run_distributed_walks(
         corpus_shard_bytes,
         alias_build_secs,
         alias_table_bytes,
+        superstep_sync_secs,
         avg_machine_memory_bytes: walker_peak_bytes + corpus_shard_bytes + alias_shard_bytes,
     }
 }
@@ -337,6 +364,7 @@ struct RoundResult {
     corpus: Corpus,
     comm: CommStats,
     peak_memory_sum: usize,
+    sync_secs: f64,
 }
 
 /// Runs one round: one walker per source node.
@@ -381,7 +409,8 @@ fn run_round(
     let states: Vec<MachineState> = (0..num_machines)
         .map(|_| MachineState::new(config.freq_backend))
         .collect();
-    let outcome = run_bsp(
+    let outcome = run_bsp_with(
+        config.execution,
         states,
         inboxes,
         config.max_supersteps,
@@ -455,6 +484,7 @@ fn run_round(
         corpus,
         comm: outcome.comm,
         peak_memory_sum,
+        sync_secs: outcome.sync_secs,
     }
 }
 
@@ -669,6 +699,24 @@ mod tests {
         );
         assert_eq!(scan.corpus.num_walks(), result.corpus.num_walks());
         assert_eq!(scan.alias_table_bytes, 0);
+    }
+
+    #[test]
+    fn execution_backends_are_bit_identical_and_report_sync_overhead() {
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 4);
+        let cfg = WalkEngineConfig::distger().with_seed(9);
+        let pool = run_distributed_walks(&g, &p, &cfg);
+        let spawn =
+            run_distributed_walks(&g, &p, &cfg.with_execution(ExecutionBackend::SpawnPerStep));
+        assert_eq!(pool.corpus, spawn.corpus);
+        assert_eq!(pool.comm, spawn.comm);
+        assert_eq!(pool.rounds, spawn.rounds);
+        assert_eq!(pool.relative_entropy_trace, spawn.relative_entropy_trace);
+        // Both backends account their coordination overhead; many supersteps
+        // ran, so at least the spawning reference must have spent some.
+        assert!(pool.superstep_sync_secs >= 0.0);
+        assert!(spawn.superstep_sync_secs > 0.0);
     }
 
     #[test]

@@ -41,7 +41,12 @@ pub mod models;
 pub mod rng;
 
 pub use alias::{NeighborSampler, SamplingBackend, TransitionTables};
-pub use corpus::Corpus;
+pub use corpus::{Corpus, CorpusShard};
 pub use engine::{run_distributed_walks, InfoMode, WalkEngineConfig, WalkResult};
 pub use freq::{FlatFreqStore, FreqBackend, NestedFreqStore};
 pub use models::{LengthPolicy, WalkCountPolicy, WalkModel};
+
+/// Re-export of the BSP superstep execution knob so walk-engine callers can
+/// configure [`WalkEngineConfig::execution`] without depending on
+/// `distger-cluster` directly.
+pub use distger_cluster::ExecutionBackend;

@@ -4,8 +4,8 @@ use distger_graph::{GraphBuilder, NodeId};
 use distger_partition::{mpgp_partition, MpgpConfig, Partitioning};
 use distger_walks::info::{walk_entropy, FullPathInfo, IncrementalInfo};
 use distger_walks::{
-    run_distributed_walks, FreqBackend, LengthPolicy, SamplingBackend, WalkCountPolicy,
-    WalkEngineConfig, WalkModel,
+    run_distributed_walks, ExecutionBackend, FreqBackend, LengthPolicy, SamplingBackend,
+    WalkCountPolicy, WalkEngineConfig, WalkModel,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -148,6 +148,38 @@ proptest! {
             prop_assert_eq!(&runs[0].comm, &other.comm);
             prop_assert_eq!(runs[0].rounds, other.rounds);
         }
+    }
+
+    /// The persistent worker pool is a pure scheduling change: for any seed
+    /// and machine count the pooled engine must produce walk corpora and
+    /// message traces (counts, bytes, local/remote steps, supersteps)
+    /// byte-identical to the spawn-per-superstep reference — across both
+    /// info modes, so the full-path and incremental message schedules are
+    /// both covered.
+    #[test]
+    fn pool_and_spawn_per_step_are_bit_identical(
+        seed in 0u64..12,
+        machines in 1usize..5,
+        incremental in any::<bool>(),
+    ) {
+        let g = distger_graph::barabasi_albert(160, 3, seed);
+        let p = mpgp_partition(&g, machines, MpgpConfig::default());
+        let base = if incremental {
+            WalkEngineConfig::distger()
+        } else {
+            WalkEngineConfig::huge_d()
+        }
+        .with_seed(seed);
+        let pool = run_distributed_walks(&g, &p, &base);
+        let spawn = run_distributed_walks(
+            &g,
+            &p,
+            &base.with_execution(ExecutionBackend::SpawnPerStep),
+        );
+        prop_assert_eq!(&pool.corpus, &spawn.corpus);
+        prop_assert_eq!(&pool.comm, &spawn.comm);
+        prop_assert_eq!(pool.rounds, spawn.rounds);
+        prop_assert_eq!(&pool.relative_entropy_trace, &spawn.relative_entropy_trace);
     }
 
     /// On weighted graphs the alias backend consumes randomness differently,
