@@ -12,6 +12,7 @@ use distger_partition::{
     ldg::ldg_default,
     mpgp_partition, parallel_mpgp_partition, MpgpConfig, Partitioning,
 };
+use distger_serve::{EmbeddingIndex, QueryEngine, ServeConfig};
 use distger_walks::{run_distributed_walks, SamplingBackend, WalkEngineConfig, WalkModel};
 
 /// Which partitioner feeds the walk engine.
@@ -217,6 +218,16 @@ impl PipelineResult {
     pub fn total_messages(&self) -> u64 {
         self.walk_comm.messages + self.train_stats.sync_comm.messages
     }
+
+    /// Builds the serving layer over the learned embeddings: a read-optimized
+    /// [`EmbeddingIndex`] wrapped in a batched top-k [`QueryEngine`] —
+    /// train → serve in one call. For the export path between processes, go
+    /// through [`Embeddings::save_binary`](distger_embed::Embeddings::save_binary)
+    /// / `load_binary` and build the engine from the loaded embeddings (see
+    /// `examples/serve_queries.rs`).
+    pub fn query_engine(&self, config: ServeConfig) -> QueryEngine {
+        QueryEngine::new(EmbeddingIndex::build(&self.embeddings), config)
+    }
 }
 
 /// Runs the full pipeline on `graph` under `config`.
@@ -373,6 +384,35 @@ mod tests {
                 "{} produced no corpus",
                 model.name()
             );
+        }
+    }
+
+    #[test]
+    fn trained_run_serves_top_k_on_both_backends() {
+        use distger_serve::{QueryBackend, QueryBatch};
+        let g = distger_graph::community_powerlaw(300, 6, 4, 0.1, 17);
+        let config = DistGerConfig::distger(2).small().with_seed(4);
+        let result = run_pipeline(&g, &config);
+        for backend in [QueryBackend::Exact, QueryBackend::Lsh] {
+            let engine = result.query_engine(ServeConfig {
+                backend,
+                k: 5,
+                threads: 2,
+                ..ServeConfig::default()
+            });
+            let batch = QueryBatch::from_nodes(engine.index(), &[0, 50, 299]);
+            let out = engine.top_k(&batch);
+            assert_eq!(out.results.len(), 3);
+            for (query_node, top) in [0u32, 50, 299].into_iter().zip(&out.results) {
+                assert_eq!(
+                    top.neighbors()[0].node,
+                    query_node,
+                    "{} backend did not rank the query node itself first",
+                    backend.name()
+                );
+                assert_eq!(top.len(), 5);
+            }
+            assert!(out.stats.wall_secs > 0.0);
         }
     }
 

@@ -1,0 +1,173 @@
+//! `recall@k` of an approximate query backend against the exact reference.
+//!
+//! The serving layer's LSH backend trades recall for throughput; this module
+//! quantifies that trade the way the ANN literature does: for each query,
+//! the fraction of the *exact* top-k (ground truth, recall 1.0 by
+//! construction) the approximate backend retrieved, averaged over the batch.
+//! Because every backend breaks score ties deterministically by node id (see
+//! `distger_serve::topk`), recall needs no tie tolerance: the exact backend
+//! evaluated against itself is exactly 1.0.
+
+use distger_serve::{EmbeddingIndex, QueryBackend, QueryBatch, QueryEngine, ServeConfig, TopK};
+use std::collections::HashSet;
+
+/// Mean fraction of each truth top-k retrieved by the corresponding
+/// approximate result. Queries whose truth set is empty (an empty index)
+/// count as fully recalled. Returns 1.0 for an empty batch.
+///
+/// # Panics
+/// Panics if the two slices have different lengths (they must answer the
+/// same batch).
+pub fn recall_at_k(truth: &[TopK], approx: &[TopK]) -> f64 {
+    assert_eq!(
+        truth.len(),
+        approx.len(),
+        "truth and approximate results must answer the same batch"
+    );
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for (t, a) in truth.iter().zip(approx) {
+        if t.is_empty() {
+            total += 1.0;
+            continue;
+        }
+        let found: HashSet<_> = a.nodes().collect();
+        let hit = t.nodes().filter(|node| found.contains(node)).count();
+        total += hit as f64 / t.len() as f64;
+    }
+    total / truth.len() as f64
+}
+
+/// Outcome of [`backend_recall`]: the measured recall plus the two result
+/// sets, so callers (the bench harness, examples) can reuse them.
+#[derive(Clone, Debug)]
+pub struct RecallReport {
+    /// `recall@k` of `config.backend` against the exact reference.
+    pub recall: f64,
+    /// The exact (ground-truth) per-query results.
+    pub exact: Vec<TopK>,
+    /// The evaluated backend's per-query results.
+    pub approx: Vec<TopK>,
+}
+
+/// Runs `config.backend` and the exact reference over the same batch and
+/// index, and measures the backend's `recall@k` against the reference. The
+/// exact backend evaluated this way is 1.0 identically.
+pub fn backend_recall(
+    index: &EmbeddingIndex,
+    batch: &QueryBatch,
+    config: &ServeConfig,
+) -> RecallReport {
+    let exact_engine = QueryEngine::new(
+        index.clone(),
+        ServeConfig {
+            backend: QueryBackend::Exact,
+            ..*config
+        },
+    );
+    let exact = exact_engine.top_k(batch).results;
+    let approx = if config.backend == QueryBackend::Exact {
+        exact.clone()
+    } else {
+        QueryEngine::new(index.clone(), *config)
+            .top_k(batch)
+            .results
+    };
+    RecallReport {
+        recall: recall_at_k(&exact, &approx),
+        exact,
+        approx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distger_serve::gaussian_clusters;
+
+    fn fixture() -> (EmbeddingIndex, QueryBatch) {
+        let index = EmbeddingIndex::build(&gaussian_clusters(400, 24, 8, 0.08, 21));
+        let nodes: Vec<u32> = (0..400).step_by(7).collect();
+        let batch = QueryBatch::from_nodes(&index, &nodes);
+        (index, batch)
+    }
+
+    #[test]
+    fn exact_backend_recall_is_identically_one() {
+        let (index, batch) = fixture();
+        let report = backend_recall(
+            &index,
+            &batch,
+            &ServeConfig {
+                backend: QueryBackend::Exact,
+                k: 10,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(report.recall, 1.0);
+        assert_eq!(report.exact.len(), batch.len());
+    }
+
+    #[test]
+    fn lsh_recall_clears_point_nine_on_the_cluster_fixture() {
+        let (index, batch) = fixture();
+        let report = backend_recall(
+            &index,
+            &batch,
+            &ServeConfig {
+                backend: QueryBackend::Lsh,
+                k: 10,
+                ..ServeConfig::default()
+            },
+        );
+        assert!(
+            report.recall >= 0.9,
+            "LSH recall@10 on the Gaussian-cluster fixture fell to {}",
+            report.recall
+        );
+        // And it is a real approximation, not a disguised full scan: the
+        // result sets are allowed to differ.
+        assert!(report.recall <= 1.0);
+    }
+
+    #[test]
+    fn recall_counts_partial_overlap() {
+        let (index, _) = fixture();
+        let engine = QueryEngine::new(
+            index,
+            ServeConfig {
+                backend: QueryBackend::Exact,
+                k: 4,
+                ..ServeConfig::default()
+            },
+        );
+        let mut batch = QueryBatch::new(engine.index().dim());
+        batch.push(engine.index().unit_vector(0));
+        batch.push(engine.index().unit_vector(1));
+        let truth = engine.top_k(&batch).results;
+        // Approx answers query 0 perfectly and query 1 not at all.
+        let approx = vec![truth[0].clone(), truth[0].clone()];
+        let overlap: f64 = {
+            let found: std::collections::HashSet<_> = truth[0].nodes().collect();
+            truth[1].nodes().filter(|n| found.contains(n)).count() as f64 / truth[1].len() as f64
+        };
+        let expected = (1.0 + overlap) / 2.0;
+        assert!((recall_at_k(&truth, &approx) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_is_perfect_recall() {
+        assert_eq!(recall_at_k(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same batch")]
+    fn mismatched_batches_rejected() {
+        let (index, batch) = fixture();
+        let engine = QueryEngine::new(index, ServeConfig::default());
+        let results = engine.top_k(&batch).results;
+        recall_at_k(&results, &results[..1]);
+    }
+}

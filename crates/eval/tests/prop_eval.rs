@@ -82,3 +82,52 @@ proptest! {
         prop_assert!(split.test_negative.len() <= split.test_positive.len());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Serving recall over arbitrary embeddings: the exact backend against
+    /// itself is identically 1.0, the LSH backend is in [0, 1] and fully
+    /// deterministic (same index + config → same recall), and every LSH
+    /// result is a subset of the node universe with true cosine scores in
+    /// descending, id-tie-broken order.
+    #[test]
+    fn recall_properties_on_arbitrary_embeddings(
+        data in prop::collection::vec(-2.0f32..2.0, 32..160),
+        seed in 0u64..50,
+    ) {
+        use distger_eval::{backend_recall, recall_at_k};
+        use distger_serve::{EmbeddingIndex, LshConfig, QueryBackend, QueryBatch, ServeConfig};
+
+        let dim = 8;
+        let usable = (data.len() / dim) * dim;
+        let emb = distger_embed::Embeddings::from_node_major(data[..usable].to_vec(), dim);
+        let index = EmbeddingIndex::build(&emb);
+        let nodes: Vec<u32> = (0..index.num_nodes() as u32).step_by(3).collect();
+        let batch = QueryBatch::from_nodes(&index, &nodes);
+        let config = ServeConfig {
+            backend: QueryBackend::Lsh,
+            k: 5,
+            threads: 2,
+            lsh: LshConfig { seed, ..LshConfig::default() },
+        };
+
+        let report = backend_recall(&index, &batch, &config);
+        prop_assert!((0.0..=1.0).contains(&report.recall));
+        prop_assert_eq!(recall_at_k(&report.exact, &report.exact), 1.0);
+        let again = backend_recall(&index, &batch, &config);
+        prop_assert_eq!(report.recall, again.recall);
+
+        for top in &report.approx {
+            let scores: Vec<f32> = top.neighbors().iter().map(|n| n.score).collect();
+            for pair in top.neighbors().windows(2) {
+                let ordered = pair[0].score > pair[1].score
+                    || (pair[0].score == pair[1].score && pair[0].node < pair[1].node);
+                prop_assert!(ordered, "unsorted results: {scores:?}");
+            }
+            for n in top.neighbors() {
+                prop_assert!((n.node as usize) < index.num_nodes());
+            }
+        }
+    }
+}

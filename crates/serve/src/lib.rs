@@ -1,0 +1,44 @@
+//! Query-serving layer for the DistGER reproduction.
+//!
+//! Training produces [`Embeddings`](distger_embed::Embeddings); this crate is
+//! what makes them *servable* — the read side of the ROADMAP's "serves heavy
+//! traffic" north star. The paper family evaluates embeddings through
+//! similarity queries (DistGER §6.4; "A Broader Picture of Random-walk Based
+//! Graph Embedding" frames quality entirely through nearest neighbors), so
+//! the unit of serving here is the batched cosine **top-k query**:
+//!
+//! * [`EmbeddingIndex`] — the read-optimized store: node-major,
+//!   pre-normalized unit vectors, so a cosine is one dot product
+//!   ([`index`]). Built from in-memory embeddings or from the versioned
+//!   binary store written by
+//!   [`Embeddings::save_binary`](distger_embed::Embeddings::save_binary).
+//! * [`QueryEngine`] — batched top-k with two [`QueryBackend`]s mirroring
+//!   the workspace's optimized-default / reference pattern
+//!   (`FreqBackend` / `SamplingBackend` / `ExecutionBackend`):
+//!   [`QueryBackend::Exact`] is a chunked brute-force scan with a bounded
+//!   heap ([`exact`]); [`QueryBackend::Lsh`] is seeded random-hyperplane
+//!   signatures with multi-probe buckets and an exact re-rank ([`lsh`]).
+//!   Batches fan out across threads on the same
+//!   [`run_rounds`](distger_cluster::run_rounds) pool the sampler and
+//!   trainer use.
+//! * Determinism: every backend breaks score ties by ascending node id
+//!   ([`topk`]), and the LSH hyperplanes are seeded — the same index and
+//!   config always produce the same results.
+//!
+//! `recall@k` of the LSH backend against the exact reference is evaluated by
+//! `distger-eval`'s `recall` module and enforced (together with the LSH QPS
+//! advantage) by the bench regression gate.
+
+pub mod engine;
+pub mod exact;
+pub mod fixtures;
+pub mod index;
+pub mod lsh;
+mod normal;
+pub mod topk;
+
+pub use engine::{BatchResults, QueryBackend, QueryBatch, QueryEngine, QueryStats, ServeConfig};
+pub use fixtures::gaussian_clusters;
+pub use index::EmbeddingIndex;
+pub use lsh::{LshConfig, LshIndex, ProbeScratch};
+pub use topk::{BoundedTopK, Neighbor, TopK};

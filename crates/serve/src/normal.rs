@@ -1,0 +1,12 @@
+//! Shared standard-normal sampling for the serve crate (LSH hyperplanes and
+//! the Gaussian-cluster fixture draw from the same helper, so the two can
+//! never drift apart numerically).
+
+use rand::{rngs::StdRng, Rng};
+
+/// One standard-normal draw via Box–Muller.
+pub(crate) fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}

@@ -219,3 +219,56 @@ fn single_machine_and_multi_machine_walks_agree() {
     assert_eq!(single.comm.messages, 0);
     assert!(multi.comm.messages > 0);
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Corpus::split`'s heap-based least-loaded assignment is bit-identical
+    /// to the reference greedy `O(parts)` scan it replaced (same shards, same
+    /// walk order), and shard load balance obeys the greedy invariant: the
+    /// spread between the heaviest and lightest shard never exceeds the
+    /// longest walk.
+    #[test]
+    fn heap_split_matches_greedy_scan_and_balances(
+        lengths in prop::collection::vec(1usize..40, 0..120),
+        parts in 1usize..9,
+    ) {
+        let num_nodes = 4;
+        let walks: Vec<Vec<distger_graph::NodeId>> = lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| vec![(i % num_nodes) as distger_graph::NodeId; len])
+            .collect();
+        let corpus = distger_walks::Corpus::from_walks(walks.clone(), num_nodes);
+        let shards = corpus.split(parts);
+
+        // Reference: the former sequential least-loaded scan (first minimum
+        // wins ties, i.e. the smallest part index).
+        let mut expected: Vec<Vec<&Vec<distger_graph::NodeId>>> = vec![Vec::new(); parts];
+        let mut loads = vec![0usize; parts];
+        for walk in &walks {
+            let target = (0..parts).min_by_key(|&i| loads[i]).unwrap();
+            loads[target] += walk.len();
+            expected[target].push(walk);
+        }
+        for (shard, reference) in shards.iter().zip(&expected) {
+            prop_assert_eq!(shard.num_walks(), reference.len());
+            for (got, &want) in shard.walks().iter().zip(reference) {
+                prop_assert_eq!(got, want);
+            }
+        }
+
+        // Balance: max − min shard tokens ≤ the longest single walk.
+        let token_counts: Vec<usize> = shards.iter().map(|s| s.total_tokens()).collect();
+        let spread = token_counts.iter().max().unwrap() - token_counts.iter().min().unwrap();
+        prop_assert!(
+            spread <= lengths.iter().copied().max().unwrap_or(0),
+            "shard spread {spread} exceeds longest walk"
+        );
+        prop_assert_eq!(
+            token_counts.iter().sum::<usize>(),
+            corpus.total_tokens(),
+            "split lost or duplicated tokens"
+        );
+    }
+}

@@ -12,7 +12,9 @@
 //! * [`walks`] — routine and information-oriented random-walk engines
 //!   (KnightKing-style, HuGE-D, InCoM);
 //! * [`embed`] — distributed Skip-Gram trainers (Hogwild, Pword2vec, DSGL);
-//! * [`eval`] — link prediction and node classification;
+//! * [`serve`] — the query-serving layer: binary embedding store, exact and
+//!   LSH batched top-k engines;
+//! * [`eval`] — link prediction, node classification and serving recall@k;
 //! * [`core`] — the end-to-end pipeline and the comparison baselines.
 //!
 //! ## Quickstart
@@ -42,6 +44,7 @@ pub use distger_embed as embed;
 pub use distger_eval as eval;
 pub use distger_graph as graph;
 pub use distger_partition as partition;
+pub use distger_serve as serve;
 pub use distger_walks as walks;
 
 /// The most commonly used types, importable with `use distger::prelude::*`.
@@ -52,9 +55,14 @@ pub mod prelude {
         SystemKind,
     };
     pub use distger_embed::{Embeddings, SyncStrategy, TrainerConfig, TrainerKind};
-    pub use distger_eval::{evaluate_classification, evaluate_link_prediction, split_edges};
+    pub use distger_eval::{
+        evaluate_classification, evaluate_link_prediction, recall_at_k, split_edges,
+    };
     pub use distger_graph::{CsrGraph, GraphBuilder, NodeId};
     pub use distger_partition::{MpgpConfig, Partitioning, StreamingOrder};
+    pub use distger_serve::{
+        EmbeddingIndex, LshConfig, QueryBackend, QueryBatch, QueryEngine, ServeConfig, TopK,
+    };
     pub use distger_walks::{
         run_distributed_walks, Corpus, InfoMode, LengthPolicy, SamplingBackend, WalkCountPolicy,
         WalkEngineConfig, WalkModel,
