@@ -3,7 +3,8 @@
 //! plus steps-per-second throughput comparisons of the optimized hot-path
 //! implementations against their retained reference paths (flat vs
 //! nested-HashMap frequency store; alias-table vs linear-scan transition
-//! sampling; persistent worker pool vs spawn-per-superstep BSP execution)
+//! sampling; run-scoped round loop vs per-round worker pool vs
+//! spawn-per-superstep BSP execution)
 //! and the serving layer's top-k query throughput (multi-probe LSH vs the
 //! exact scan, with LSH recall@10 against the exact ground truth), exported
 //! together to `BENCH_walks.json`. Every `*_speedup` report row is enforced
@@ -199,7 +200,8 @@ const SAMPLING_BACKENDS: [(&str, SamplingBackend); 2] = [
     ("linear_scan", SamplingBackend::LinearScan),
 ];
 
-const EXECUTION_BACKENDS: [(&str, ExecutionBackend); 2] = [
+const EXECUTION_BACKENDS: [(&str, ExecutionBackend); 3] = [
+    ("round_loop", ExecutionBackend::RoundLoop),
     ("pool", ExecutionBackend::Pool),
     ("spawn_per_step", ExecutionBackend::SpawnPerStep),
 ];
@@ -243,17 +245,19 @@ fn freq_bench_graph() -> &'static CsrGraph {
     GRAPH.get_or_init(|| bench_dataset(PaperDataset::Flickr, BenchScale::Default, 3))
 }
 
-/// Routine DeepWalk with short walks (`L = 16`) over 8 machines: with a
-/// workload-balanced partition most steps hop machines, so each round runs
-/// ~16 supersteps of ~250 walkers per machine — the small-superstep regime
-/// where the per-superstep thread-spawn overhead of the reference backend
-/// dominates the actual walking.
+/// Routine DeepWalk with short walks (`L = 8`) and many rounds (`r = 12`)
+/// over 8 machines: with a workload-balanced partition most steps hop
+/// machines, so each round runs ~8 supersteps of ~250 walkers per machine —
+/// the many-short-rounds regime DistGER's early termination produces, where
+/// per-superstep thread spawning dominates `spawn_per_step` and per-round
+/// pool setup/teardown (8 spawns + joins × 12 rounds) is what the
+/// run-scoped `round_loop` eliminates.
 fn small_rounds_config(execution: ExecutionBackend) -> WalkEngineConfig {
     let mut config = WalkEngineConfig::knightking_routine(WalkModel::DeepWalk)
         .with_seed(29)
         .with_execution(execution);
-    config.length = LengthPolicy::Fixed(16);
-    config.walks_per_node = WalkCountPolicy::Fixed(6);
+    config.length = LengthPolicy::Fixed(8);
+    config.walks_per_node = WalkCountPolicy::Fixed(12);
     config
 }
 
@@ -386,21 +390,36 @@ fn export_reports(_c: &mut Criterion) {
         }
     }
 
-    // Part 3: worker-pool vs spawn-per-superstep BSP execution, end-to-end
-    // walk throughput on the many-small-rounds workload. `sync_secs` is the
-    // engine's own superstep-overhead accounting — the quantity the pool
-    // shrinks.
+    // Part 3: the three execution backends — run-scoped round loop,
+    // per-round worker pool, spawn-per-superstep — end-to-end walk
+    // throughput on the many-small-rounds workload. `sync_secs` is the
+    // engine's own superstep-overhead accounting (the quantity the pools
+    // shrink) and `thread_spawns` the run's thread-spawn count (the
+    // quantity the round loop collapses from machines × rounds to
+    // machines).
     let (graph, partitioning) = small_rounds_workload();
     let mut execution_report = Report::new(
         "execution_backend",
-        "End-to-end walk throughput: persistent worker pool vs spawn-per-superstep \
-         (Barabási–Albert n=2000 m=8, 8 machines, L=16, r=6)",
-        &["steps_per_sec", "total_steps", "best_secs", "sync_secs"],
+        "End-to-end walk throughput: run-scoped round loop vs per-round worker pool vs \
+         spawn-per-superstep (Barabási–Albert n=2000 m=8, 8 machines, L=8, r=12)",
+        &[
+            "steps_per_sec",
+            "total_steps",
+            "best_secs",
+            "sync_secs",
+            "thread_spawns",
+        ],
     );
     let mut execution_speedup_report = Report::new(
         "execution_backend_speedup",
         "Pool-over-spawn end-to-end walk throughput ratio on many small supersteps",
         &["pool_over_spawn"],
+    );
+    let mut round_loop_speedup_report = Report::new(
+        "round_loop_speedup",
+        "Run-scoped round loop end-to-end walk throughput ratio over the per-round \
+         references (thread spawns per run: machines vs machines x rounds)",
+        &["round_loop_over_reference"],
     );
     let mut rates = Vec::new();
     for (label, backend) in EXECUTION_BACKENDS {
@@ -409,8 +428,9 @@ fn export_reports(_c: &mut Criterion) {
         let steps_per_sec = total_steps as f64 / best_secs;
         println!(
             "execution_backend/{label}: {steps_per_sec:.0} steps/s \
-             ({total_steps} steps in {best_secs:.4}s, {:.4}s superstep sync overhead)",
-            result.superstep_sync_secs
+             ({total_steps} steps in {best_secs:.4}s, {:.4}s superstep sync overhead, \
+             {} thread spawns)",
+            result.superstep_sync_secs, result.pool_spawn_count
         );
         execution_report.push(
             label,
@@ -419,16 +439,22 @@ fn export_reports(_c: &mut Criterion) {
                 total_steps as f64,
                 best_secs,
                 result.superstep_sync_secs,
+                result.pool_spawn_count as f64,
             ],
         );
         rates.push(steps_per_sec);
     }
-    if let [pool, spawn] = rates[..] {
+    if let [round_loop, pool, spawn] = rates[..] {
         println!(
-            "execution_backend: pool/spawn speedup = {:.2}x",
-            pool / spawn
+            "execution_backend: pool/spawn speedup = {:.2}x, \
+             round_loop/pool = {:.2}x, round_loop/spawn = {:.2}x",
+            pool / spawn,
+            round_loop / pool,
+            round_loop / spawn
         );
         execution_speedup_report.push("small_rounds", vec![pool / spawn]);
+        round_loop_speedup_report.push("over_per_round_pool", vec![round_loop / pool]);
+        round_loop_speedup_report.push("over_spawn_per_step", vec![round_loop / spawn]);
     }
 
     // Part 4: the serving layer — batched top-k query throughput of the
@@ -523,6 +549,7 @@ fn export_reports(_c: &mut Criterion) {
                 speedup_report.to_json(),
                 execution_report.to_json(),
                 execution_speedup_report.to_json(),
+                round_loop_speedup_report.to_json(),
                 query_report.to_json(),
                 query_speedup_report.to_json(),
             ]),
@@ -538,6 +565,7 @@ fn export_reports(_c: &mut Criterion) {
     println!("{}", speedup_report.to_text());
     println!("{}", execution_report.to_text());
     println!("{}", execution_speedup_report.to_text());
+    println!("{}", round_loop_speedup_report.to_text());
     println!("{}", query_report.to_text());
     println!("{}", query_speedup_report.to_text());
 }

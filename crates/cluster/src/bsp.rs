@@ -100,6 +100,10 @@ pub struct BspOutcome<S> {
     /// exchange itself runs on the coordinator between supersteps and is not
     /// included (it is identical work under both backends).
     pub sync_secs: f64,
+    /// OS threads spawned over the run: `machines` for the pooled backends
+    /// (including the whole multi-round loop of [`run_bsp_round_loop`]),
+    /// `machines × supersteps` for [`ExecutionBackend::SpawnPerStep`].
+    pub spawn_count: u64,
 }
 
 /// Runs BSP supersteps until no machine has pending messages, on the default
@@ -128,7 +132,10 @@ where
 ///
 /// * `backend` — how machine threads are managed across supersteps:
 ///   a persistent worker pool ([`ExecutionBackend::Pool`], the default used
-///   by [`run_bsp`]) or one fresh thread per machine per superstep
+///   by [`run_bsp`]; [`ExecutionBackend::RoundLoop`] is identical for a
+///   *single* invocation — its run-scoped behaviour only differs when a
+///   multi-round caller drives all rounds through [`run_bsp_round_loop`])
+///   or one fresh thread per machine per superstep
 ///   ([`ExecutionBackend::SpawnPerStep`], the reference).
 /// * `states` — one mutable state per machine (e.g. its graph partition plus
 ///   local walker bookkeeping).
@@ -164,7 +171,9 @@ where
     assert!(num_machines > 0, "need at least one machine");
     assert_eq!(states.len(), initial.len(), "one inbox per machine");
     match backend {
-        ExecutionBackend::Pool => run_bsp_pooled(states, initial, max_supersteps, step),
+        ExecutionBackend::RoundLoop | ExecutionBackend::Pool => {
+            run_bsp_pooled(states, initial, max_supersteps, step)
+        }
         ExecutionBackend::SpawnPerStep => {
             run_bsp_spawn_per_step(states, initial, max_supersteps, step)
         }
@@ -181,9 +190,36 @@ struct MachineSlot<S, M> {
     outbox: Outbox<M>,
 }
 
+/// Superstep boundary for the pooled backends: move queued messages into the
+/// (drained) inboxes in ascending source order, exactly like the
+/// spawn-per-step boundary, so inbox contents are bit-identical across
+/// backends. `append` transfers elements and keeps both allocations.
+fn exchange_messages<S, M>(slots: &[Mutex<MachineSlot<S, M>>]) {
+    for src in 0..slots.len() {
+        let mut src_slot = slots[src].lock().unwrap();
+        let src_slot = &mut *src_slot;
+        // Self-delivery inside the same slot (re-locking `src` would
+        // deadlock), then every other destination.
+        src_slot.inbox.append(&mut src_slot.outbox.queues[src]);
+        for (dest, dest_slot) in slots.iter().enumerate() {
+            if dest == src {
+                continue;
+            }
+            let mut dest_slot = dest_slot.lock().unwrap();
+            dest_slot.inbox.append(&mut src_slot.outbox.queues[dest]);
+        }
+    }
+}
+
 /// The pool backend: `num_machines` persistent worker threads, one pinned to
 /// each machine index, separated from the coordinator's exchange phase by a
 /// reusable two-phase barrier (see [`pool::run_rounds`](crate::pool::run_rounds)).
+///
+/// A single BSP invocation is exactly a one-round round loop, so this is a
+/// thin wrapper over [`run_bsp_round_loop`]: seed `initial` at the first
+/// boundary, stop at the second. Keeping one copy of the coordinator
+/// (exchange order, pending check, superstep cap) is what makes the
+/// per-round and run-scoped backends bit-identical by construction.
 fn run_bsp_pooled<S, M, F>(
     states: Vec<S>,
     initial: Vec<Vec<M>>,
@@ -195,56 +231,133 @@ where
     M: MessageSize + Send,
     F: for<'a> Fn(MachineId, &mut S, Mailbox<'a, M>, &mut Outbox<M>) + Sync,
 {
+    let mut initial = Some(initial);
+    run_bsp_round_loop(states, max_supersteps, step, move |_states| initial.take())
+}
+
+/// Runs a **multi-round** BSP computation on one run-scoped worker pool: the
+/// entire round loop — every superstep of every round — executes inside a
+/// single [`run_rounds`] invocation, so exactly
+/// `machines` threads are spawned for the whole run no matter how many
+/// rounds the caller's convergence logic ends up executing. This is the
+/// driver behind [`ExecutionBackend::RoundLoop`]; a per-round driver calling
+/// [`run_bsp`] in a loop pays `machines × rounds` spawns instead.
+///
+/// Within a round, supersteps run exactly as in [`run_bsp`] (same message
+/// exchange, same ascending-machine order, bit-identical schedules). When a
+/// round drains — no machine has pending messages — the coordinator calls
+/// `boundary` **exclusively**, with every worker parked at the barrier and
+/// mutable access to all machine states. The callback harvests whatever the
+/// finished round produced, runs its convergence logic, and either returns
+/// the next round's initial per-machine messages (`Some(inboxes)`) or ends
+/// the run (`None`). This is the early-termination handshake: because the
+/// decision executes in a control phase, the coordinator simply stops
+/// scheduling further generations and the pool releases the workers once
+/// more to observe the stop flag — no participant can be left blocked on
+/// the barrier.
+///
+/// `boundary` is first called before any superstep ran (states untouched) to
+/// seed round 0. A round seeded with all-empty inboxes is skipped without
+/// burning a barrier generation — the callback is invoked again immediately,
+/// so a caller that never seeds and never returns `None` would spin; return
+/// `None` to stop.
+///
+/// The outcome aggregates over all rounds: `comm` sums traffic,
+/// [`BspOutcome::supersteps`] is the total across rounds, and
+/// `comm.supersteps` is the **maximum supersteps of any single round** — the
+/// same value a per-round driver accumulates through [`CommStats::merge`]'s
+/// max semantics, so multi-round statistics are directly comparable across
+/// backends. `max_supersteps` caps each round individually, exactly like one
+/// `run_bsp` call per round.
+///
+/// # Panics
+/// Panics if there are zero machines, if a round exceeds `max_supersteps`,
+/// or if `step`/`boundary` panics (the pool's poisoned barrier guarantees an
+/// orderly shutdown before the payload propagates).
+pub fn run_bsp_round_loop<S, M, F, C>(
+    states: Vec<S>,
+    max_supersteps: u64,
+    step: F,
+    mut boundary: C,
+) -> BspOutcome<S>
+where
+    S: Send,
+    M: MessageSize + Send,
+    F: for<'a> Fn(MachineId, &mut S, Mailbox<'a, M>, &mut Outbox<M>) + Sync,
+    C: FnMut(&mut [&mut S]) -> Option<Vec<Vec<M>>>,
+{
     let num_machines = states.len();
+    assert!(num_machines > 0, "need at least one machine");
     let slots: Vec<Mutex<MachineSlot<S, M>>> = states
         .into_iter()
-        .zip(initial)
         .enumerate()
-        .map(|(machine, (state, inbox))| {
+        .map(|(machine, state)| {
             Mutex::new(MachineSlot {
                 state,
-                inbox,
+                inbox: Vec::new(),
                 outbox: Outbox::new(machine, num_machines),
             })
         })
         .collect();
 
+    let mut total_supersteps: u64 = 0;
+    let mut round_supersteps: u64 = 0;
+    let mut max_round_supersteps: u64 = 0;
+
     let stats = run_rounds(
         num_machines,
-        |superstep| {
-            // Exchange phase for the superstep that just finished: move
-            // queued messages into the (drained) inboxes in ascending source
-            // order, exactly like the spawn-per-step boundary, so inbox
-            // contents are bit-identical across backends. `append` transfers
-            // elements and keeps both allocations.
-            if superstep > 0 {
-                for src in 0..num_machines {
-                    let mut src_slot = slots[src].lock().unwrap();
-                    let src_slot = &mut *src_slot;
-                    // Self-delivery inside the same slot (re-locking `src`
-                    // would deadlock), then every other destination.
-                    src_slot.inbox.append(&mut src_slot.outbox.queues[src]);
-                    for (dest, dest_slot) in slots.iter().enumerate() {
-                        if dest == src {
-                            continue;
-                        }
-                        let mut dest_slot = dest_slot.lock().unwrap();
-                        dest_slot.inbox.append(&mut src_slot.outbox.queues[dest]);
-                    }
-                }
+        |generation| {
+            // Exchange phase for the superstep that just finished (a no-op
+            // right after a round boundary: all outboxes are drained).
+            if generation > 0 {
+                exchange_messages(&slots);
             }
             let pending = slots
                 .iter()
                 .any(|slot| !slot.lock().unwrap().inbox.is_empty());
             if pending {
                 assert!(
-                    superstep < max_supersteps,
+                    round_supersteps < max_supersteps,
                     "BSP exceeded {max_supersteps} supersteps — runaway walk?"
                 );
+                round_supersteps += 1;
+                total_supersteps += 1;
+                return true;
             }
-            pending
+            // Round boundary: every inbox drained, so the previous round (if
+            // any) is complete. Hand exclusive state access to the caller,
+            // which either seeds the next round or ends the run.
+            max_round_supersteps = max_round_supersteps.max(round_supersteps);
+            round_supersteps = 0;
+            let mut guards: Vec<_> = slots.iter().map(|slot| slot.lock().unwrap()).collect();
+            loop {
+                let mut states: Vec<&mut S> =
+                    guards.iter_mut().map(|guard| &mut guard.state).collect();
+                let seeds = boundary(&mut states);
+                drop(states);
+                let Some(mut seeds) = seeds else {
+                    return false;
+                };
+                assert_eq!(seeds.len(), num_machines, "one seed inbox per machine");
+                let mut seeded = false;
+                for (guard, seed) in guards.iter_mut().zip(seeds.iter_mut()) {
+                    seeded |= !seed.is_empty();
+                    guard.inbox.append(seed);
+                }
+                if seeded {
+                    assert!(
+                        max_supersteps > 0,
+                        "BSP exceeded {max_supersteps} supersteps — runaway walk?"
+                    );
+                    round_supersteps = 1;
+                    total_supersteps += 1;
+                    return true;
+                }
+                // All-empty seeds: retry the boundary instead of running a
+                // no-op superstep generation.
+            }
         },
-        |machine, _superstep| {
+        |machine, _generation| {
             let mut slot = slots[machine].lock().unwrap();
             let slot = &mut *slot;
             let mailbox = Mailbox {
@@ -261,12 +374,13 @@ where
         comm.merge(&slot.outbox.stats);
         states.push(slot.state);
     }
-    comm.supersteps = stats.rounds;
+    comm.supersteps = max_round_supersteps;
     BspOutcome {
         states,
         comm,
-        supersteps: stats.rounds,
+        supersteps: total_supersteps,
         sync_secs: stats.sync_secs,
+        spawn_count: stats.spawn_count,
     }
 }
 
@@ -357,6 +471,7 @@ where
         comm,
         supersteps,
         sync_secs,
+        spawn_count: num_machines as u64 * supersteps,
     }
 }
 
@@ -375,8 +490,11 @@ mod tests {
         }
     }
 
-    const BACKENDS: [ExecutionBackend; 2] =
-        [ExecutionBackend::Pool, ExecutionBackend::SpawnPerStep];
+    const BACKENDS: [ExecutionBackend; 3] = [
+        ExecutionBackend::RoundLoop,
+        ExecutionBackend::Pool,
+        ExecutionBackend::SpawnPerStep,
+    ];
 
     #[test]
     fn token_ring_counts_messages_on_both_backends() {
@@ -533,6 +651,137 @@ mod tests {
                 }
             },
         );
+    }
+
+    /// A ring step over `M` machines: count the token, pass it on.
+    fn ring_step<const MACHINES: usize>(
+        machine: MachineId,
+        state: &mut u64,
+        mailbox: Mailbox<'_, Token>,
+        outbox: &mut Outbox<Token>,
+    ) {
+        for token in mailbox.messages {
+            *state += 1;
+            if token.remaining > 0 {
+                outbox.send(
+                    (machine + 1) % MACHINES,
+                    Token {
+                        remaining: token.remaining - 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The whole multi-round loop through one `run_bsp_round_loop` must be
+    /// observably identical to one `run_bsp` call per round — states, comm
+    /// stats (including the max-per-round superstep semantics) and superstep
+    /// totals — while spawning `machines` threads instead of
+    /// `machines × rounds`.
+    #[test]
+    fn round_loop_matches_per_round_bsp() {
+        let rounds = 4u64;
+        let seeds = |round: u64| -> Vec<Vec<Token>> {
+            (0..3)
+                .map(|m| {
+                    vec![Token {
+                        remaining: 2 + (round as u32 + m as u32) % 3,
+                    }]
+                })
+                .collect()
+        };
+
+        let mut per_round_states = vec![0u64; 3];
+        let mut per_round_comm = CommStats::new();
+        let mut per_round_supersteps = 0u64;
+        let mut per_round_spawns = 0u64;
+        for round in 0..rounds {
+            let outcome = run_bsp(per_round_states, seeds(round), 100, ring_step::<3>);
+            per_round_states = outcome.states;
+            per_round_comm.merge(&outcome.comm);
+            per_round_supersteps += outcome.supersteps;
+            per_round_spawns += outcome.spawn_count;
+        }
+
+        let mut next_round = 0u64;
+        let outcome = run_bsp_round_loop(vec![0u64; 3], 100, ring_step::<3>, |_states| {
+            if next_round == rounds {
+                return None;
+            }
+            next_round += 1;
+            Some(seeds(next_round - 1))
+        });
+
+        assert_eq!(outcome.states, per_round_states);
+        assert_eq!(outcome.comm, per_round_comm);
+        assert_eq!(outcome.supersteps, per_round_supersteps);
+        assert_eq!(outcome.spawn_count, 3, "one spawn per machine for the run");
+        assert_eq!(
+            per_round_spawns,
+            3 * rounds,
+            "per-round pays spawns × rounds"
+        );
+    }
+
+    /// The coordinator ends the loop from a control phase the moment its
+    /// convergence criterion is met — workers exit cleanly, nobody blocks.
+    #[test]
+    fn round_loop_coordinator_terminates_early_without_deadlock() {
+        let mut seeded_rounds = 0u64;
+        let outcome = run_bsp_round_loop(vec![0u64; 4], 100, ring_step::<4>, |states| {
+            // "Converged": the harvested state total crossed a threshold
+            // well before the nominal 100-round budget.
+            let total: u64 = states.iter().map(|state| **state).sum();
+            if total >= 12 {
+                return None;
+            }
+            seeded_rounds += 1;
+            Some((0..4).map(|_| vec![Token { remaining: 1 }]).collect())
+        });
+        // Each round: 4 tokens × 2 visits = 8 counts, so 2 rounds suffice.
+        assert_eq!(seeded_rounds, 2);
+        assert_eq!(outcome.states.iter().sum::<u64>(), 16);
+        assert_eq!(outcome.supersteps, 4);
+        assert_eq!(outcome.comm.supersteps, 2, "max supersteps of one round");
+        assert_eq!(outcome.spawn_count, 4);
+    }
+
+    fn no_work(_: MachineId, _: &mut u64, _: Mailbox<'_, Token>, _: &mut Outbox<Token>) {
+        panic!("no superstep should run");
+    }
+
+    /// All-empty seeds re-enter the boundary immediately instead of running
+    /// a no-op superstep generation.
+    #[test]
+    fn round_loop_skips_all_empty_seed_rounds() {
+        let mut calls = 0u64;
+        let outcome = run_bsp_round_loop(vec![0u64; 2], 10, no_work, |_states| {
+            calls += 1;
+            if calls < 3 {
+                Some(vec![Vec::new(), Vec::new()])
+            } else {
+                None
+            }
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(outcome.supersteps, 0);
+        assert_eq!(outcome.comm.supersteps, 0);
+        assert_eq!(outcome.spawn_count, 2);
+    }
+
+    /// A panic in the boundary control phase poisons the barrier (workers
+    /// exit instead of blocking) and the payload propagates.
+    #[test]
+    #[should_panic(expected = "boundary exploded")]
+    fn round_loop_boundary_panic_propagates() {
+        let mut rounds = 0u64;
+        run_bsp_round_loop(vec![0u64; 3], 100, ring_step::<3>, |_states| {
+            if rounds == 2 {
+                panic!("boundary exploded");
+            }
+            rounds += 1;
+            Some((0..3).map(|_| vec![Token { remaining: 2 }]).collect())
+        });
     }
 
     /// A panicking machine must poison the pool's barrier so the other

@@ -11,7 +11,10 @@
 //!   superstep boundary, exactly like KnightKing's walker engine (§2.2) —
 //!   executed by default on a persistent, barrier-coordinated worker
 //!   [`pool`] so a superstep boundary costs two barrier crossings instead
-//!   of `N` thread spawns and joins;
+//!   of `N` thread spawns and joins — and, for multi-round callers,
+//!   [`run_bsp_round_loop`] keeps that one pool alive across *every* round
+//!   of a run, executing round boundaries (harvesting, convergence checks,
+//!   next-round seeding) as coordinator-exclusive control phases;
 //! * per-machine **communication accounting** ([`comm`]): every cross-machine
 //!   message is counted with an explicit byte size, and an analytic
 //!   [`NetworkModel`] converts the traffic into modelled communication time;
@@ -25,11 +28,11 @@ pub mod memory;
 pub mod pool;
 pub mod timer;
 
-pub use bsp::{run_bsp, run_bsp_with, BspOutcome, Mailbox, Outbox};
+pub use bsp::{run_bsp, run_bsp_round_loop, run_bsp_with, BspOutcome, Mailbox, Outbox};
 pub use comm::{CommStats, MessageSize, NetworkModel};
 pub use config::ClusterConfig;
 pub use memory::MemoryEstimate;
-pub use pool::{run_rounds, EpochBarrier, ExecutionBackend, PoolStats};
+pub use pool::{run_rounds, BarrierPoisoned, EpochBarrier, ExecutionBackend, PoolStats};
 pub use timer::{PhaseTimes, Stopwatch};
 
 /// Identifier of a simulated machine (re-exported from `distger-partition` so

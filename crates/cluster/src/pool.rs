@@ -34,10 +34,19 @@ use std::time::Instant;
 /// Which thread-management strategy executes the supersteps of a BSP run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ExecutionBackend {
-    /// Persistent worker pool: one thread per machine created once per run,
-    /// supersteps separated by a reusable two-phase barrier (the optimized
-    /// default).
+    /// Run-scoped persistent worker pool: one thread per machine created
+    /// once per *run* and kept alive across every round — round boundaries
+    /// (corpus harvesting, convergence checks, next-round seeding) execute
+    /// as coordinator-exclusive control phases between barrier generations
+    /// (the optimized default; see
+    /// [`run_bsp_round_loop`](crate::run_bsp_round_loop)).
     #[default]
+    RoundLoop,
+    /// Per-round persistent worker pool: one thread per machine created once
+    /// per BSP invocation, supersteps separated by a reusable two-phase
+    /// barrier. A multi-round driver spawns `machines × rounds` threads
+    /// (kept selectable as the per-round reference for equivalence tests
+    /// and benchmarks).
     Pool,
     /// One fresh OS thread per machine per superstep (the original reference
     /// implementation, kept selectable for equivalence tests and benchmarks).
@@ -48,6 +57,7 @@ impl ExecutionBackend {
     /// Display name used by the experiment harness.
     pub fn name(&self) -> &'static str {
         match self {
+            ExecutionBackend::RoundLoop => "round_loop",
             ExecutionBackend::Pool => "pool",
             ExecutionBackend::SpawnPerStep => "spawn_per_step",
         }
@@ -161,6 +171,9 @@ pub struct PoolStats {
     /// slowest worker's compute time, summed over rounds. For the pool this
     /// is the barrier cost; for spawn-per-step it is the spawn/join cost.
     pub sync_secs: f64,
+    /// OS threads spawned by this invocation — always exactly the worker
+    /// count: the whole point of the pool is that no round spawns anything.
+    pub spawn_count: u64,
 }
 
 /// Runs coordinated rounds on `workers` persistent worker threads.
@@ -197,7 +210,10 @@ where
     // write before the round-end barrier and the coordinator reads after it,
     // so Relaxed ordering suffices (the barrier provides the happens-before).
     let compute_nanos: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
-    let mut stats = PoolStats::default();
+    let mut stats = PoolStats {
+        spawn_count: workers as u64,
+        ..PoolStats::default()
+    };
 
     std::thread::scope(|scope| {
         // If `control` panics below, this guard poisons the barrier during
@@ -289,6 +305,7 @@ mod tests {
             },
         );
         assert_eq!(stats.rounds, 5);
+        assert_eq!(stats.spawn_count, 3, "one spawn per worker, ever");
         assert!(stats.sync_secs >= 0.0);
         for counter in &counters {
             assert_eq!(counter.load(Ordering::SeqCst), 5);

@@ -1,0 +1,221 @@
+//! Property-based tests for the cluster runtime: the poison-aware
+//! [`EpochBarrier`] that coordinates the worker pool, and the run-scoped
+//! [`run_bsp_round_loop`] driver against the per-round [`run_bsp`]
+//! reference.
+//!
+//! The barrier properties are the safety contract every pooled run leans on:
+//! a panicking participant must *unblock* everyone (no deadlock) and the
+//! original payload must re-raise; a healthy barrier must be reusable for
+//! arbitrarily many generations. Both are exercised over randomized
+//! participant counts, not just the fixed shapes of the unit tests.
+
+use distger_cluster::{
+    run_bsp, run_bsp_round_loop, run_rounds, BarrierPoisoned, CommStats, EpochBarrier, Mailbox,
+    MessageSize, Outbox,
+};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// A token that fans out to other machines while `remaining > 0`.
+struct Token {
+    remaining: u32,
+}
+
+impl MessageSize for Token {
+    fn size_bytes(&self) -> usize {
+        16
+    }
+}
+
+/// A BSP step with a concrete higher-ranked signature (returning the closure
+/// from a function pins the `for<'a>` bound the drivers expect): count each
+/// token's value, then fan `fan` successors one hop down the ring.
+fn fan_step(
+    machines: usize,
+    fan: u32,
+) -> impl for<'a> Fn(usize, &mut u64, Mailbox<'a, Token>, &mut Outbox<Token>) + Sync {
+    move |machine, state, mailbox, outbox| {
+        for token in mailbox.messages {
+            *state += token.remaining as u64 + 1;
+            if token.remaining > 0 {
+                for offset in 0..fan {
+                    outbox.send(
+                        (machine + 1 + offset as usize) % machines,
+                        Token {
+                            remaining: token.remaining - 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A worker panicking mid-round-loop — any worker, any round, any pool
+    /// size — must poison the barrier so every other participant unblocks,
+    /// and the *original* payload must re-raise from `run_rounds`. The test
+    /// returning at all is the no-deadlock half of the property.
+    #[test]
+    fn worker_panic_mid_round_loop_unblocks_everyone_and_reraises(
+        workers in 1usize..7,
+        villain_pick in 0usize..7,
+        panic_round in 0u64..4,
+    ) {
+        let villain = villain_pick % workers;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_rounds(
+                workers,
+                |round| round < 20,
+                |worker, round| {
+                    if worker == villain && round == panic_round {
+                        panic!("worker {worker} exploded at round {round}");
+                    }
+                },
+            )
+        }));
+        let payload = result.expect_err("the worker panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        prop_assert!(
+            message == format!("worker {villain} exploded at round {panic_round}"),
+            "panic payload was replaced: {message:?}"
+        );
+    }
+
+    /// Same contract when the *coordinator* (the control phase) panics:
+    /// workers parked at the round-start barrier must be released to exit.
+    #[test]
+    fn control_panic_mid_round_loop_unblocks_workers_and_reraises(
+        workers in 1usize..7,
+        panic_round in 0u64..4,
+    ) {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_rounds(
+                workers,
+                |round| {
+                    if round == panic_round {
+                        panic!("control exploded at round {round}");
+                    }
+                    true
+                },
+                |_, _| {},
+            )
+        }));
+        let payload = result.expect_err("the control panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        prop_assert!(
+            message == format!("control exploded at round {panic_round}"),
+            "panic payload was replaced: {message:?}"
+        );
+    }
+
+    /// One barrier instance must serve arbitrarily many generations (the
+    /// run-scoped loop crosses it twice per superstep for the whole run):
+    /// all `parties` participants complete `generations >= 3` crossings and
+    /// the barrier stays healthy.
+    #[test]
+    fn barrier_is_reusable_across_generations(
+        parties in 2usize..9,
+        generations in 3u64..48,
+    ) {
+        let barrier = EpochBarrier::new(parties);
+        std::thread::scope(|scope| {
+            for _ in 0..parties - 1 {
+                scope.spawn(|| {
+                    for _ in 0..generations {
+                        barrier.wait().unwrap();
+                    }
+                });
+            }
+            for _ in 0..generations {
+                barrier.wait().unwrap();
+            }
+        });
+        prop_assert!(!barrier.is_poisoned());
+    }
+
+    /// Poisoning with any number of participants blocked on the barrier
+    /// wakes every one of them with an error, and every future wait fails
+    /// immediately.
+    #[test]
+    fn poison_unblocks_every_blocked_waiter(parties in 2usize..9) {
+        let barrier = EpochBarrier::new(parties);
+        let mut woken = Vec::new();
+        std::thread::scope(|scope| {
+            // parties - 1 waiters block (the barrier needs one more).
+            let waiters: Vec<_> = (0..parties - 1)
+                .map(|_| scope.spawn(|| barrier.wait()))
+                .collect();
+            std::thread::sleep(Duration::from_millis(2));
+            barrier.poison();
+            woken = waiters
+                .into_iter()
+                .map(|waiter| waiter.join().expect("waiter must not panic"))
+                .collect();
+        });
+        for result in woken {
+            prop_assert_eq!(result, Err(BarrierPoisoned));
+        }
+        prop_assert_eq!(barrier.wait(), Err(BarrierPoisoned));
+        prop_assert!(barrier.is_poisoned());
+    }
+
+    /// The run-scoped round loop is observably identical to one `run_bsp`
+    /// invocation per round — final states, summed traffic, max-per-round
+    /// superstep statistics and superstep totals — while spawning `machines`
+    /// threads instead of `machines × rounds`.
+    #[test]
+    fn round_loop_equals_per_round_bsp(
+        machines in 1usize..6,
+        rounds in 1u64..6,
+        fan in 1u32..4,
+    ) {
+        let step = fan_step(machines, fan);
+        let seeds = |round: u64| -> Vec<Vec<Token>> {
+            (0..machines)
+                .map(|m| {
+                    vec![Token {
+                        remaining: ((m as u64 + round) % 3) as u32,
+                    }]
+                })
+                .collect()
+        };
+
+        let mut per_round_states = vec![0u64; machines];
+        let mut per_round_comm = CommStats::new();
+        let mut per_round_supersteps = 0u64;
+        let mut per_round_spawns = 0u64;
+        for round in 0..rounds {
+            let outcome = run_bsp(per_round_states, seeds(round), 10_000, &step);
+            per_round_states = outcome.states;
+            per_round_comm.merge(&outcome.comm);
+            per_round_supersteps += outcome.supersteps;
+            per_round_spawns += outcome.spawn_count;
+        }
+
+        let mut next_round = 0u64;
+        let outcome = run_bsp_round_loop(vec![0u64; machines], 10_000, &step, |_states| {
+            if next_round == rounds {
+                None
+            } else {
+                next_round += 1;
+                Some(seeds(next_round - 1))
+            }
+        });
+
+        prop_assert_eq!(&outcome.states, &per_round_states);
+        prop_assert_eq!(&outcome.comm, &per_round_comm);
+        prop_assert_eq!(outcome.supersteps, per_round_supersteps);
+        prop_assert_eq!(outcome.spawn_count, machines as u64);
+        prop_assert_eq!(per_round_spawns, machines as u64 * rounds);
+    }
+}

@@ -166,8 +166,9 @@ impl DistGerConfig {
     /// consistent, while a directly assigned `walks.execution` /
     /// `training.execution` field is honored per phase (mirroring how
     /// `freq_backend` / `sampling_backend` behave). The default everywhere
-    /// is [`ExecutionBackend::Pool`]; the reference
-    /// [`ExecutionBackend::SpawnPerStep`] is retained for A/B comparisons.
+    /// is the run-scoped [`ExecutionBackend::RoundLoop`]; the per-round
+    /// [`ExecutionBackend::Pool`] and [`ExecutionBackend::SpawnPerStep`]
+    /// references are retained for A/B comparisons.
     pub fn with_execution_backend(mut self, execution: ExecutionBackend) -> Self {
         self.walks.execution = execution;
         self.training.execution = execution;
@@ -193,6 +194,11 @@ pub struct PipelineResult {
     /// phase's equivalent lives in
     /// [`TrainStats::superstep_sync_secs`](distger_embed::TrainStats).
     pub walk_superstep_sync_secs: f64,
+    /// OS threads the walk phase spawned (see
+    /// [`distger_walks::WalkResult::pool_spawn_count`]): `machines` under
+    /// the default run-scoped [`ExecutionBackend::RoundLoop`],
+    /// `machines × rounds` under the per-round pool.
+    pub walk_pool_spawn_count: u64,
     /// Number of walks per node actually executed.
     pub walk_rounds: usize,
     /// Average walk length of the sampled corpus.
@@ -287,6 +293,7 @@ pub fn run_pipeline(graph: &CsrGraph, config: &DistGerConfig) -> PipelineResult 
         partitioning,
         walk_comm: walk_result.comm.clone(),
         walk_superstep_sync_secs: walk_result.superstep_sync_secs,
+        walk_pool_spawn_count: walk_result.pool_spawn_count,
         walk_rounds: walk_result.rounds,
         avg_walk_length: walk_result.avg_walk_length(),
         corpus_tokens: walk_result.corpus.total_tokens(),
@@ -339,7 +346,8 @@ mod tests {
     fn execution_backends_sample_identical_corpora_end_to_end() {
         let g = barabasi_albert(300, 4, 13);
         let base = DistGerConfig::distger(4).small().with_seed(7);
-        let pool = run_pipeline(&g, &base);
+        let round_loop = run_pipeline(&g, &base); // RoundLoop is the default
+        let pool = run_pipeline(&g, &base.with_execution_backend(ExecutionBackend::Pool));
         let spawn = run_pipeline(
             &g,
             &base.with_execution_backend(ExecutionBackend::SpawnPerStep),
@@ -347,10 +355,16 @@ mod tests {
         // The sampler is deterministic across backends; training adds
         // Hogwild races, so the corpus and walk traffic are the equality
         // surface here.
-        assert_eq!(pool.corpus_tokens, spawn.corpus_tokens);
-        assert_eq!(pool.walk_comm, spawn.walk_comm);
-        assert_eq!(pool.walk_rounds, spawn.walk_rounds);
-        assert!(pool.walk_superstep_sync_secs >= 0.0);
+        for other in [&pool, &spawn] {
+            assert_eq!(round_loop.corpus_tokens, other.corpus_tokens);
+            assert_eq!(round_loop.walk_comm, other.walk_comm);
+            assert_eq!(round_loop.walk_rounds, other.walk_rounds);
+        }
+        // The run-scoped loop spawns `machines` walk threads for the whole
+        // run; the per-round pool pays that per round.
+        assert_eq!(round_loop.walk_pool_spawn_count, 4);
+        assert_eq!(pool.walk_pool_spawn_count, 4 * pool.walk_rounds as u64);
+        assert!(round_loop.walk_superstep_sync_secs >= 0.0);
         assert!(spawn.walk_superstep_sync_secs > 0.0);
     }
 

@@ -77,9 +77,12 @@ pub struct TrainerConfig {
     /// Worker threads per machine.
     pub threads: usize,
     /// How machine threads are managed across training chunks:
-    /// [`ExecutionBackend::Pool`] (one persistent thread per machine, the
-    /// optimized default) or [`ExecutionBackend::SpawnPerStep`] (fresh
-    /// threads per chunk, the reference).
+    /// [`ExecutionBackend::RoundLoop`] / [`ExecutionBackend::Pool`] (one
+    /// persistent thread per machine for the whole run — the trainer's chunk
+    /// loop is already run-scoped, so the two pooled backends are identical
+    /// here; `RoundLoop` is the optimized default) or
+    /// [`ExecutionBackend::SpawnPerStep`] (fresh threads per chunk, the
+    /// reference).
     pub execution: ExecutionBackend,
     /// Seed for initialization and negative sampling.
     pub seed: u64,
@@ -98,7 +101,7 @@ impl Default for TrainerConfig {
             sync: SyncStrategy::HotnessBlock,
             sync_rounds_per_epoch: 4,
             threads: 2,
-            execution: ExecutionBackend::Pool,
+            execution: ExecutionBackend::RoundLoop,
             seed: 0,
         }
     }
@@ -163,11 +166,12 @@ pub struct TrainStats {
     pub sync_comm: CommStats,
     /// Wall-clock thread-coordination overhead summed over training chunks:
     /// per chunk, the wall time of the concurrent compute phase minus the
-    /// slowest machine's compute time. Under [`ExecutionBackend::Pool`] this
+    /// slowest machine's compute time. Under the pooled backends
+    /// ([`ExecutionBackend::RoundLoop`] / [`ExecutionBackend::Pool`]) this
     /// is the barrier-crossing cost; under
     /// [`ExecutionBackend::SpawnPerStep`] it is the per-chunk thread
     /// spawn/join cost. The coordinator-side parameter synchronization
-    /// between chunks is excluded (identical work under both backends;
+    /// between chunks is excluded (identical work under all backends;
     /// its traffic is `sync_comm`).
     pub superstep_sync_secs: f64,
     /// Average per-machine training-phase memory footprint in bytes (model
@@ -227,7 +231,7 @@ pub fn train_distributed(
 
     let start = std::time::Instant::now();
     let superstep_sync_secs = match config.execution {
-        ExecutionBackend::Pool => {
+        ExecutionBackend::RoundLoop | ExecutionBackend::Pool => {
             // One persistent worker per machine for the whole run. Workers
             // hold `&replicas[machine]` (Hogwild matrices are
             // interior-mutable); the coordinator synchronizes parameters

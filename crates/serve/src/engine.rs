@@ -296,20 +296,25 @@ impl QueryEngine {
                 let mut out = Vec::new();
                 // Lease recycled scratch (or build fresh on a cold pool); the
                 // backend is fixed at construction, so pooled entries always
-                // match the engine's needs.
-                let mut scratch =
-                    self.scratch_pool
-                        .lock()
-                        .unwrap()
-                        .pop()
-                        .unwrap_or_else(|| WorkerScratch {
-                            probe: self
-                                .lsh
-                                .as_ref()
-                                .map(|lsh| ProbeScratch::for_index(lsh, &self.index)),
-                            candidates: Vec::new(),
-                            query_unit: vec![0.0; self.index.dim()],
-                        });
+                // match the engine's needs. Scratch entries are plain
+                // reusable buffers — valid in any state — so a lock poisoned
+                // by an earlier batch's panic is recovered rather than
+                // unwrapped: a long-lived engine keeps serving after a
+                // caller catches a panicked batch, and a panic unwinding
+                // through here is never masked by a second one.
+                let mut scratch = self
+                    .scratch_pool
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .pop()
+                    .unwrap_or_else(|| WorkerScratch {
+                        probe: self
+                            .lsh
+                            .as_ref()
+                            .map(|lsh| ProbeScratch::for_index(lsh, &self.index)),
+                        candidates: Vec::new(),
+                        query_unit: vec![0.0; self.index.dim()],
+                    });
                 for qi in (worker..queries).step_by(workers) {
                     normalize_into(batch.query(qi), &mut scratch.query_unit);
                     let top = match &self.lsh {
@@ -343,7 +348,15 @@ impl QueryEngine {
                     };
                     out.push((qi, top));
                 }
-                self.scratch_pool.lock().unwrap().push(scratch);
+                // Poison-recovering for the same reason as the lease above.
+                self.scratch_pool
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(scratch);
+                // Safety of the unwrap: slot `worker` is only ever locked by
+                // this worker during the round, so the mutex can be poisoned
+                // only by this very thread — which cannot reach this line
+                // after panicking.
                 *slots[worker].lock().unwrap() = out;
             },
         );
@@ -351,6 +364,9 @@ impl QueryEngine {
 
         let mut results: Vec<Option<TopK>> = vec![None; queries];
         for slot in &slots {
+            // Safety of the unwrap: `run_rounds` has returned, so every
+            // worker either finished cleanly or its panic already propagated
+            // out of this function — a poisoned slot cannot reach this loop.
             for (qi, top) in slot.lock().unwrap().drain(..) {
                 results[qi] = Some(top);
             }
@@ -461,6 +477,25 @@ mod tests {
                 backend.name()
             );
         }
+    }
+
+    #[test]
+    fn poisoned_scratch_pool_recovers_and_keeps_serving() {
+        // A serving deployment keeps one engine alive across many batches;
+        // if a caller catches a batch that panicked while the scratch-pool
+        // mutex was held, the next batch must recover the poisoned lock and
+        // serve identical results — not die on a PoisonError forever after.
+        let engine = engine(QueryBackend::Lsh, 2);
+        let batch = QueryBatch::from_nodes(engine.index(), &[1, 42, 200]);
+        let baseline = engine.top_k(&batch);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = engine.scratch_pool.lock().unwrap();
+            panic!("batch exploded mid-lease");
+        }));
+        assert!(panicked.is_err());
+        assert!(engine.scratch_pool.is_poisoned(), "precondition: poisoned");
+        let after = engine.top_k(&batch);
+        assert_eq!(baseline.results, after.results);
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! [`WalkEngineConfig`]: per-node alias tables (built once per run, `O(1)`
 //! per draw — the default) or the reference `O(deg)` linear scan.
 
-use distger_cluster::{run_bsp_with, CommStats, ExecutionBackend, Outbox};
+use distger_cluster::{
+    run_bsp_round_loop, run_bsp_with, CommStats, ExecutionBackend, Mailbox, Outbox,
+};
 use distger_graph::{stats::degree_distribution, CsrGraph, NodeId};
 use distger_partition::Partitioning;
 
@@ -62,11 +64,14 @@ pub struct WalkEngineConfig {
     /// original `O(deg)` scan for equivalence tests and benchmarks.
     pub sampling_backend: SamplingBackend,
     /// How BSP supersteps manage machine threads.
-    /// [`ExecutionBackend::Pool`] (persistent worker pool, one barrier
-    /// crossing pair per superstep) is the optimized default;
-    /// [`ExecutionBackend::SpawnPerStep`] retains the original
-    /// thread-per-machine-per-superstep path for equivalence tests and
-    /// benchmarks. Both produce bit-identical corpora and message traces.
+    /// [`ExecutionBackend::RoundLoop`] (one run-scoped worker pool spanning
+    /// every round — `machines` thread spawns per run, round boundaries as
+    /// coordinator control phases) is the optimized default;
+    /// [`ExecutionBackend::Pool`] retains the per-round pool
+    /// (`machines × rounds` spawns) and [`ExecutionBackend::SpawnPerStep`]
+    /// the original thread-per-machine-per-superstep path, both for
+    /// equivalence tests and benchmarks. All three produce bit-identical
+    /// corpora, message traces and entropy traces.
     pub execution: ExecutionBackend,
     /// Seed for all stochastic choices.
     pub seed: u64,
@@ -85,7 +90,7 @@ impl WalkEngineConfig {
             info_mode: InfoMode::Incremental,
             freq_backend: FreqBackend::Flat,
             sampling_backend: SamplingBackend::Alias,
-            execution: ExecutionBackend::Pool,
+            execution: ExecutionBackend::RoundLoop,
             seed: 0,
             max_supersteps: 1_000_000,
         }
@@ -101,7 +106,7 @@ impl WalkEngineConfig {
             info_mode: InfoMode::FullPath,
             freq_backend: FreqBackend::Flat,
             sampling_backend: SamplingBackend::Alias,
-            execution: ExecutionBackend::Pool,
+            execution: ExecutionBackend::RoundLoop,
             seed: 0,
             max_supersteps: 1_000_000,
         }
@@ -164,9 +169,15 @@ pub struct WalkResult {
     pub rounds: usize,
     /// Relative entropy `D_r(p‖q)` after each round (Eq. 6), cumulative corpus.
     pub relative_entropy_trace: Vec<f64>,
-    /// Peak transient walker state (segment arenas plus frequency lists) of
-    /// the worst round, averaged over machines — this memory is released at
-    /// every round boundary.
+    /// Peak transient walker state (segment arenas plus frequency lists),
+    /// averaged over machines. Under the per-round backends this is the
+    /// worst single round's machine-summed watermark (walker state is torn
+    /// down and released at every round boundary); under the default
+    /// [`ExecutionBackend::RoundLoop`] walker allocations live for the whole
+    /// run — round boundaries clear contents but keep capacity — so each
+    /// machine contributes its peak over *all* rounds, the honest residency
+    /// of run-lived state. The two can differ when machines peak in
+    /// different rounds (the run-scoped number is never smaller).
     pub walker_peak_bytes: usize,
     /// End-of-run corpus residency per machine (the accumulated corpus,
     /// divided evenly over machines).
@@ -183,13 +194,21 @@ pub struct WalkResult {
     pub alias_table_bytes: usize,
     /// Wall-clock seconds of BSP superstep thread-coordination overhead
     /// summed over all rounds: per superstep, the wall time of the concurrent
-    /// compute phase minus the slowest machine's compute time. Under
-    /// [`ExecutionBackend::Pool`] this is the barrier-crossing cost; under
+    /// compute phase minus the slowest machine's compute time. Under the
+    /// pooled backends ([`ExecutionBackend::RoundLoop`],
+    /// [`ExecutionBackend::Pool`]) this is the barrier-crossing cost; under
     /// [`ExecutionBackend::SpawnPerStep`] it is the per-superstep thread
     /// spawn/join cost the pool eliminates. The coordinator-side message
-    /// exchange between supersteps is excluded (identical under both
-    /// backends).
+    /// exchange between supersteps — and the round-boundary control work
+    /// (corpus assembly, entropy check, next-round seeding) — is excluded
+    /// (identical under all backends).
     pub superstep_sync_secs: f64,
+    /// OS threads spawned by the execution backend over the whole run:
+    /// exactly `machines` under [`ExecutionBackend::RoundLoop`] (one pool
+    /// spans every round), `machines × rounds` under the per-round
+    /// [`ExecutionBackend::Pool`], and `machines × supersteps` under
+    /// [`ExecutionBackend::SpawnPerStep`].
+    pub pool_spawn_count: u64,
     /// Estimated per-machine sampling-phase memory in bytes: transient
     /// walker state, the resident corpus shard, plus this machine's share of
     /// the alias tables.
@@ -261,6 +280,81 @@ impl MachineState {
             + self.seg_runs.len() * std::mem::size_of::<SegRun>();
         self.peak_memory_bytes = self.peak_memory_bytes.max(freq_bytes + seg_bytes);
     }
+
+    /// Round-boundary reset for the run-scoped engine: forget this round's
+    /// segments and frequency lists but keep every allocation (arena, run
+    /// headers, directory, list pool) for the next round — workers outliving
+    /// rounds is what makes the steady state allocation-free. The
+    /// peak-memory watermark deliberately survives: capacity is recycled,
+    /// not released, so this machine's true residency is its peak over the
+    /// whole run (see [`WalkResult::walker_peak_bytes`] for how this differs
+    /// from the per-round backends' accounting).
+    fn reset_round(&mut self) {
+        self.seg_nodes.clear();
+        self.seg_runs.clear();
+        self.freq.clear();
+    }
+}
+
+/// The round schedule: a fixed number of rounds or the relative-entropy
+/// convergence controller of Eq. 7. Shared by every execution backend so the
+/// continue/stop decision lives in exactly one piece of code — which is what
+/// makes the backends' round counts (and entropy traces) bit-identical.
+struct RoundSchedule {
+    fixed_rounds: Option<usize>,
+    controller: Option<WalkCountController>,
+}
+
+impl RoundSchedule {
+    fn new(policy: WalkCountPolicy) -> Self {
+        match policy {
+            WalkCountPolicy::Fixed(r) => Self {
+                fixed_rounds: Some(r.max(1)),
+                controller: None,
+            },
+            WalkCountPolicy::InfoDriven {
+                delta,
+                min_rounds,
+                max_rounds,
+            } => Self {
+                fixed_rounds: None,
+                controller: Some(WalkCountController::new(delta, min_rounds, max_rounds)),
+            },
+        }
+    }
+
+    /// Decides, after `completed_rounds` rounds have been harvested into
+    /// `corpus`, whether another round runs. Info-driven schedules push the
+    /// round's relative entropy `D_r(p‖q)` (Eq. 6) onto `trace`.
+    fn continue_after(
+        &mut self,
+        completed_rounds: usize,
+        corpus: &Corpus,
+        degree_dist: &[f64],
+        trace: &mut Vec<f64>,
+    ) -> bool {
+        match (self.fixed_rounds, &mut self.controller) {
+            (Some(r), _) => completed_rounds < r,
+            (None, Some(ctrl)) => {
+                let d = relative_entropy(degree_dist, &corpus.occurrence_distribution());
+                trace.push(d);
+                ctrl.record_round(d)
+            }
+            (None, None) => unreachable!("one of the policies is always set"),
+        }
+    }
+}
+
+/// What a backend-specific driver hands back to the shared
+/// [`run_distributed_walks`] epilogue.
+struct EngineRun {
+    corpus: Corpus,
+    comm: CommStats,
+    rounds: usize,
+    trace: Vec<f64>,
+    peak_round_memory: usize,
+    sync_secs: f64,
+    spawn_count: u64,
 }
 
 /// Runs distributed random walks over `graph` partitioned by `partitioning`.
@@ -277,14 +371,7 @@ pub fn run_distributed_walks(
         graph.num_nodes(),
         "partitioning must cover every node"
     );
-    let n = graph.num_nodes();
     let num_machines = partitioning.num_machines();
-    let mut corpus = Corpus::new(n);
-    let mut comm = CommStats::new();
-    let mut trace = Vec::new();
-    let mut peak_round_memory = 0usize;
-    let mut superstep_sync_secs = 0.0f64;
-
     let degree_dist = degree_distribution(graph);
 
     // Build the transition tables once per run; every round reuses them.
@@ -296,91 +383,207 @@ pub fn run_distributed_walks(
         Some(t) => NeighborSampler::Alias(t),
         None => NeighborSampler::LinearScan,
     };
+    let schedule = RoundSchedule::new(config.walks_per_node);
 
-    // Decide the round schedule.
-    let (fixed_rounds, mut controller) = match config.walks_per_node {
-        WalkCountPolicy::Fixed(r) => (Some(r.max(1)), None),
-        WalkCountPolicy::InfoDriven {
-            delta,
-            min_rounds,
-            max_rounds,
-        } => (
-            None,
-            Some(WalkCountController::new(delta, min_rounds, max_rounds)),
-        ),
+    let run = match config.execution {
+        ExecutionBackend::RoundLoop => {
+            run_round_loop(graph, partitioning, config, sampler, schedule, &degree_dist)
+        }
+        ExecutionBackend::Pool | ExecutionBackend::SpawnPerStep => {
+            run_per_round(graph, partitioning, config, sampler, schedule, &degree_dist)
+        }
     };
 
-    let mut round = 0usize;
-    loop {
-        let round_result = run_round(graph, partitioning, config, sampler, round as u64);
-        comm.merge(&round_result.comm);
-        peak_round_memory = peak_round_memory.max(round_result.peak_memory_sum);
-        superstep_sync_secs += round_result.sync_secs;
-        corpus.extend(round_result.corpus);
-
-        round += 1;
-        let continue_walking = match (&fixed_rounds, &mut controller) {
-            (Some(r), _) => round < *r,
-            (None, Some(ctrl)) => {
-                let d = relative_entropy(&degree_dist, &corpus.occurrence_distribution());
-                trace.push(d);
-                ctrl.record_round(d)
-            }
-            (None, None) => unreachable!("one of the policies is always set"),
-        };
-        if !continue_walking {
-            break;
-        }
-    }
-
-    // `peak_round_memory` is the worst round's machine-summed transient
-    // walker state, so a genuine peak only needs averaging over machines;
-    // the corpus is *resident* at end of run and must likewise only be
-    // divided across machines (the seed divided corpus residency by the
-    // round count too, understating per-machine memory by a factor of
-    // `rounds`).
-    let walker_peak_bytes = peak_round_memory / num_machines.max(1);
-    let corpus_shard_bytes = corpus.memory_bytes() / num_machines.max(1);
+    // `peak_round_memory` is a machine-summed transient-walker watermark
+    // (worst round for the per-round backends, per-machine all-run peaks
+    // for the run-scoped loop whose state persists — see
+    // `WalkResult::walker_peak_bytes`), so a genuine peak only needs
+    // averaging over machines; the corpus is *resident* at end of run and
+    // must likewise only be divided across machines (the seed divided
+    // corpus residency by the round count too, understating per-machine
+    // memory by a factor of `rounds`).
+    let walker_peak_bytes = run.peak_round_memory / num_machines.max(1);
+    let corpus_shard_bytes = run.corpus.memory_bytes() / num_machines.max(1);
     let (alias_build_secs, alias_table_bytes) = tables
         .as_ref()
         .map_or((0.0, 0), |t| (t.build_secs(), t.memory_bytes()));
     let alias_shard_bytes = alias_table_bytes / num_machines.max(1);
 
     WalkResult {
-        corpus,
-        comm,
-        rounds: round,
-        relative_entropy_trace: trace,
+        corpus: run.corpus,
+        comm: run.comm,
+        rounds: run.rounds,
+        relative_entropy_trace: run.trace,
         walker_peak_bytes,
         corpus_shard_bytes,
         alias_build_secs,
         alias_table_bytes,
-        superstep_sync_secs,
+        superstep_sync_secs: run.sync_secs,
+        pool_spawn_count: run.spawn_count,
         avg_machine_memory_bytes: walker_peak_bytes + corpus_shard_bytes + alias_shard_bytes,
     }
 }
 
-struct RoundResult {
-    corpus: Corpus,
-    comm: CommStats,
-    peak_memory_sum: usize,
-    sync_secs: f64,
-}
-
-/// Runs one round: one walker per source node.
-fn run_round(
+/// The run-scoped driver ([`ExecutionBackend::RoundLoop`], the default): the
+/// whole round loop executes inside one
+/// [`run_bsp_round_loop`](distger_cluster::run_bsp_round_loop) invocation —
+/// `machines` worker threads live for the entire run, and every round
+/// boundary (corpus assembly, the relative-entropy convergence check of
+/// Eq. 6, next-round seeding) runs as a coordinator-exclusive control phase
+/// between barrier generations while the workers stay parked. Early
+/// termination is the boundary callback returning `None`: the coordinator
+/// can stop the run at any round and the pool releases the parked workers to
+/// exit — no participant is ever left blocked on the barrier.
+fn run_round_loop(
     graph: &CsrGraph,
     partitioning: &Partitioning,
     config: &WalkEngineConfig,
     sampler: NeighborSampler<'_>,
-    round: u64,
-) -> RoundResult {
+    mut schedule: RoundSchedule,
+    degree_dist: &[f64],
+) -> EngineRun {
     let n = graph.num_nodes();
     let num_machines = partitioning.num_machines();
+    let mut corpus = Corpus::new(n);
+    let mut trace = Vec::new();
+    let mut rounds = 0usize;
+    let mut peak_round_memory = 0usize;
+    let mut started = false;
+    let states: Vec<MachineState> = (0..num_machines)
+        .map(|_| MachineState::new(config.freq_backend))
+        .collect();
+    let outcome = run_bsp_round_loop(
+        states,
+        config.max_supersteps,
+        walker_step(graph, partitioning, config, sampler),
+        |states| {
+            if started {
+                // Control phase: harvest the round that just drained, then
+                // decide whether the run converged (ΔD ≤ δ) or another
+                // round starts.
+                let refs: Vec<&MachineState> = states.iter().map(|state| &**state).collect();
+                let (round_corpus, peak_memory_sum) =
+                    assemble_round_corpus(&refs, n, rounds as u64);
+                peak_round_memory = peak_round_memory.max(peak_memory_sum);
+                corpus.extend(round_corpus);
+                for state in states.iter_mut() {
+                    state.reset_round();
+                }
+                rounds += 1;
+                if !schedule.continue_after(rounds, &corpus, degree_dist, &mut trace) {
+                    return None;
+                }
+            }
+            started = true;
+            Some(seed_round_inboxes(
+                graph,
+                partitioning,
+                config,
+                rounds as u64,
+            ))
+        },
+    );
+    EngineRun {
+        corpus,
+        comm: outcome.comm,
+        rounds,
+        trace,
+        peak_round_memory,
+        sync_secs: outcome.sync_secs,
+        spawn_count: outcome.spawn_count,
+    }
+}
 
-    // One fresh walker per node, delivered to the machine owning its source.
-    // Round-0 inboxes are pre-sized from the partition's node counts so the
-    // seeding loop never reallocates.
+/// The per-round drivers ([`ExecutionBackend::Pool`] /
+/// [`ExecutionBackend::SpawnPerStep`]): one `run_bsp_with` invocation per
+/// round, fresh machine states and thread resources every time — retained as
+/// the references the run-scoped loop is property-tested against (all three
+/// backends produce bit-identical corpora, message traces and entropy
+/// traces).
+fn run_per_round(
+    graph: &CsrGraph,
+    partitioning: &Partitioning,
+    config: &WalkEngineConfig,
+    sampler: NeighborSampler<'_>,
+    mut schedule: RoundSchedule,
+    degree_dist: &[f64],
+) -> EngineRun {
+    let n = graph.num_nodes();
+    let step = walker_step(graph, partitioning, config, sampler);
+    let mut run = EngineRun {
+        corpus: Corpus::new(n),
+        comm: CommStats::new(),
+        rounds: 0,
+        trace: Vec::new(),
+        peak_round_memory: 0,
+        sync_secs: 0.0,
+        spawn_count: 0,
+    };
+    loop {
+        let round = run.rounds as u64;
+        let states: Vec<MachineState> = (0..partitioning.num_machines())
+            .map(|_| MachineState::new(config.freq_backend))
+            .collect();
+        let outcome = run_bsp_with(
+            config.execution,
+            states,
+            seed_round_inboxes(graph, partitioning, config, round),
+            config.max_supersteps,
+            &step,
+        );
+        let refs: Vec<&MachineState> = outcome.states.iter().collect();
+        let (round_corpus, peak_memory_sum) = assemble_round_corpus(&refs, n, round);
+        run.comm.merge(&outcome.comm);
+        run.peak_round_memory = run.peak_round_memory.max(peak_memory_sum);
+        run.sync_secs += outcome.sync_secs;
+        run.spawn_count += outcome.spawn_count;
+        run.corpus.extend(round_corpus);
+        run.rounds += 1;
+        if !schedule.continue_after(run.rounds, &run.corpus, degree_dist, &mut run.trace) {
+            return run;
+        }
+    }
+}
+
+/// The per-superstep worker body shared by every execution driver: process
+/// the machine's delivered walkers, then refresh its memory watermark. One
+/// copy of this closure is what keeps the backends' superstep semantics
+/// identical by construction.
+fn walker_step<'g>(
+    graph: &'g CsrGraph,
+    partitioning: &'g Partitioning,
+    config: &'g WalkEngineConfig,
+    sampler: NeighborSampler<'g>,
+) -> impl for<'a> Fn(usize, &mut MachineState, Mailbox<'a, WalkerMessage>, &mut Outbox<WalkerMessage>)
+       + Sync
+       + 'g {
+    move |machine, state, mailbox, outbox| {
+        for msg in mailbox.messages {
+            process_walker(
+                graph,
+                partitioning,
+                config,
+                sampler,
+                machine,
+                state,
+                msg,
+                outbox,
+            );
+        }
+        state.update_memory_estimate();
+    }
+}
+
+/// Seeds one round: one fresh walker per source node, delivered to the
+/// machine owning it. Inboxes are pre-sized from the partition's node counts
+/// so the seeding loop never reallocates.
+fn seed_round_inboxes(
+    graph: &CsrGraph,
+    partitioning: &Partitioning,
+    config: &WalkEngineConfig,
+    round: u64,
+) -> Vec<Vec<WalkerMessage>> {
+    let n = graph.num_nodes();
     let mut inboxes: Vec<Vec<WalkerMessage>> = partitioning
         .node_counts()
         .into_iter()
@@ -405,40 +608,19 @@ fn run_round(
             info,
         });
     }
+    inboxes
+}
 
-    let states: Vec<MachineState> = (0..num_machines)
-        .map(|_| MachineState::new(config.freq_backend))
-        .collect();
-    let outcome = run_bsp_with(
-        config.execution,
-        states,
-        inboxes,
-        config.max_supersteps,
-        |machine, state, mailbox, outbox| {
-            for msg in mailbox.messages {
-                process_walker(
-                    graph,
-                    partitioning,
-                    config,
-                    sampler,
-                    machine,
-                    state,
-                    msg,
-                    outbox,
-                );
-            }
-            state.update_memory_estimate();
-        },
-    );
-
-    // Assemble the corpus from the per-machine local runs with a counting
-    // sort over walk ids: count tokens and runs per walk, prefix-sum into
-    // bucket offsets, scatter run references, then concatenate each walk's
-    // few runs ordered by start step. No per-step tuples, no per-token sort.
+/// Assembles one round's corpus from the per-machine local runs with a
+/// counting sort over walk ids: count tokens and runs per walk, prefix-sum
+/// into bucket offsets, scatter run references, then concatenate each walk's
+/// few runs ordered by start step. No per-step tuples, no per-token sort.
+/// Also returns the machine-summed peak transient-memory watermark.
+fn assemble_round_corpus(states: &[&MachineState], n: usize, round: u64) -> (Corpus, usize) {
     let mut peak_memory_sum = 0usize;
     let mut token_counts = vec![0u32; n];
     let mut run_counts = vec![0u32; n];
-    for state in &outcome.states {
+    for state in states {
         peak_memory_sum += state.peak_memory_bytes;
         for run in &state.seg_runs {
             let local_id = (run.walk_id - round * n as u64) as usize;
@@ -453,7 +635,7 @@ fn run_round(
     // (start_step, machine, run index) per run, bucketed by walk.
     let mut buckets = vec![(0u32, 0u32, 0u32); run_offsets[n] as usize];
     let mut cursors = run_offsets.clone();
-    for (machine, state) in outcome.states.iter().enumerate() {
+    for (machine, state) in states.iter().enumerate() {
         for (run_idx, run) in state.seg_runs.iter().enumerate() {
             let local_id = (run.walk_id - round * n as u64) as usize;
             let slot = cursors[local_id];
@@ -470,22 +652,16 @@ fn run_round(
         bucket.sort_unstable_by_key(|run| run.0);
         let mut walk = Vec::with_capacity(token_counts[w] as usize);
         for &(start_step, machine, run_idx) in bucket.iter() {
-            let run = &outcome.states[machine as usize].seg_runs[run_idx as usize];
+            let run = &states[machine as usize].seg_runs[run_idx as usize];
             debug_assert_eq!(start_step as usize, walk.len(), "runs must tile the walk");
             walk.extend_from_slice(
-                &outcome.states[machine as usize].seg_nodes
-                    [run.offset..run.offset + run.len as usize],
+                &states[machine as usize].seg_nodes[run.offset..run.offset + run.len as usize],
             );
         }
         corpus.push_walk(walk);
     }
 
-    RoundResult {
-        corpus,
-        comm: outcome.comm,
-        peak_memory_sum,
-        sync_secs: outcome.sync_secs,
-    }
+    (corpus, peak_memory_sum)
 }
 
 /// Processes one walker on `machine` until it terminates or hops away.
@@ -706,17 +882,58 @@ mod tests {
         let g = test_graph();
         let p = workload_balanced_partition(&g, 4);
         let cfg = WalkEngineConfig::distger().with_seed(9);
-        let pool = run_distributed_walks(&g, &p, &cfg);
+        let round_loop = run_distributed_walks(&g, &p, &cfg);
+        let pool = run_distributed_walks(&g, &p, &cfg.with_execution(ExecutionBackend::Pool));
         let spawn =
             run_distributed_walks(&g, &p, &cfg.with_execution(ExecutionBackend::SpawnPerStep));
-        assert_eq!(pool.corpus, spawn.corpus);
-        assert_eq!(pool.comm, spawn.comm);
-        assert_eq!(pool.rounds, spawn.rounds);
-        assert_eq!(pool.relative_entropy_trace, spawn.relative_entropy_trace);
-        // Both backends account their coordination overhead; many supersteps
+        for other in [&pool, &spawn] {
+            assert_eq!(round_loop.corpus, other.corpus);
+            assert_eq!(round_loop.comm, other.comm);
+            assert_eq!(round_loop.rounds, other.rounds);
+            assert_eq!(
+                round_loop.relative_entropy_trace,
+                other.relative_entropy_trace
+            );
+        }
+        // All backends account their coordination overhead; many supersteps
         // ran, so at least the spawning reference must have spent some.
+        assert!(round_loop.superstep_sync_secs >= 0.0);
         assert!(pool.superstep_sync_secs >= 0.0);
         assert!(spawn.superstep_sync_secs > 0.0);
+    }
+
+    #[test]
+    fn round_loop_spawns_machines_threads_for_the_whole_run() {
+        // The headline claim of the run-scoped pool: thread spawns per run
+        // drop from `machines × rounds` (per-round pool) to `machines`.
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 4);
+        let cfg = WalkEngineConfig::distger().with_seed(21);
+        let round_loop = run_distributed_walks(&g, &p, &cfg);
+        let pool = run_distributed_walks(&g, &p, &cfg.with_execution(ExecutionBackend::Pool));
+        let spawn =
+            run_distributed_walks(&g, &p, &cfg.with_execution(ExecutionBackend::SpawnPerStep));
+        assert!(round_loop.rounds >= 2, "need a multi-round run to compare");
+        assert_eq!(round_loop.pool_spawn_count, 4);
+        assert_eq!(pool.pool_spawn_count, 4 * pool.rounds as u64);
+        // Spawn-per-step pays `machines` spawns per superstep; even the
+        // longest single round already costs it more than the whole
+        // run-scoped loop.
+        assert!(spawn.pool_spawn_count >= 4 * spawn.comm.supersteps);
+        assert!(
+            spawn.pool_spawn_count > pool.pool_spawn_count,
+            "spawn-per-step spawns per superstep, the pool per round"
+        );
+    }
+
+    #[test]
+    fn default_execution_backend_is_the_run_scoped_round_loop() {
+        assert_eq!(
+            WalkEngineConfig::distger().execution,
+            ExecutionBackend::RoundLoop
+        );
+        assert_eq!(ExecutionBackend::default(), ExecutionBackend::RoundLoop);
+        assert_eq!(ExecutionBackend::RoundLoop.name(), "round_loop");
     }
 
     #[test]

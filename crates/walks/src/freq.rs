@@ -178,6 +178,21 @@ impl FlatFreqStore {
         self.keys[hole] = EMPTY;
     }
 
+    /// Forgets every walk while keeping the directory and the list pool
+    /// allocated — the round-boundary reset of the run-scoped walk engine:
+    /// walks that hopped away and terminated elsewhere never `release` their
+    /// local list, so without this the store would leak one list per
+    /// departed walk per round.
+    pub fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.occupied = 0;
+        self.free.clear();
+        for (idx, list) in self.lists.iter_mut().enumerate() {
+            list.clear();
+            self.free.push(idx as u32);
+        }
+    }
+
     /// Number of walks with a live frequency list.
     pub fn active_walks(&self) -> usize {
         self.occupied
@@ -220,6 +235,11 @@ impl NestedFreqStore {
     /// See [`FlatFreqStore::release`].
     pub fn release(&mut self, walk_id: u64) {
         self.map.remove(&walk_id);
+    }
+
+    /// See [`FlatFreqStore::clear`].
+    pub fn clear(&mut self) {
+        self.map.clear();
     }
 
     /// Number of walks with a live frequency list.
@@ -281,6 +301,14 @@ impl FreqStore {
         match self {
             FreqStore::Flat(s) => s.release(walk_id),
             FreqStore::Nested(s) => s.release(walk_id),
+        }
+    }
+
+    /// See [`FlatFreqStore::clear`].
+    pub fn clear(&mut self) {
+        match self {
+            FreqStore::Flat(s) => s.clear(),
+            FreqStore::Nested(s) => s.clear(),
         }
     }
 
@@ -389,6 +417,23 @@ mod tests {
             }
         }
         assert_eq!(flat.active_walks(), nested.active_walks());
+    }
+
+    #[test]
+    fn clear_forgets_everything_and_recycles_all_lists() {
+        let mut s = FlatFreqStore::new();
+        for walk in 0..200u64 {
+            s.accept(walk, (walk % 9) as NodeId);
+            s.accept(walk, (walk % 9) as NodeId);
+        }
+        let resident = s.memory_bytes();
+        s.clear();
+        assert_eq!(s.active_walks(), 0);
+        // Counts restart from zero and pooled capacity is reused, not grown.
+        for walk in 0..200u64 {
+            assert_eq!(s.accept(walk, (walk % 9) as NodeId), 0, "walk {walk}");
+        }
+        assert!(s.memory_bytes() <= resident + 256 * std::mem::size_of::<u32>());
     }
 
     #[test]

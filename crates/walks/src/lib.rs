@@ -28,8 +28,14 @@
 //!   degree. Both keep the original implementation selectable as a reference
 //!   backend ([`FreqBackend`] / [`SamplingBackend`]).
 //!
-//! All engines run on the simulated cluster of `distger-cluster` and report
-//! [`CommStats`](distger_cluster::CommStats) alongside the sampled [`Corpus`].
+//! All engines run on the simulated cluster of `distger-cluster` — by
+//! default through one **run-scoped** worker pool spanning every walk round
+//! ([`ExecutionBackend::RoundLoop`]): round boundaries (corpus assembly,
+//! relative-entropy convergence, next-round seeding) execute as
+//! coordinator-exclusive control phases between barrier generations, so a
+//! run spawns `machines` threads instead of `machines × rounds`. They
+//! report [`CommStats`](distger_cluster::CommStats) alongside the sampled
+//! [`Corpus`].
 
 pub mod alias;
 pub mod corpus;

@@ -150,14 +150,22 @@ proptest! {
         }
     }
 
-    /// The persistent worker pool is a pure scheduling change: for any seed
-    /// and machine count the pooled engine must produce walk corpora and
-    /// message traces (counts, bytes, local/remote steps, supersteps)
-    /// byte-identical to the spawn-per-superstep reference — across both
-    /// info modes, so the full-path and incremental message schedules are
-    /// both covered.
+    /// The three-way execution-backend equivalence: the run-scoped
+    /// `RoundLoop` (one worker pool spanning every round, round boundaries
+    /// as coordinator control phases), the per-round `Pool` and the
+    /// spawn-per-superstep reference are pure scheduling changes — for any
+    /// seed, machine count and info mode (so both the full-path and the
+    /// incremental message schedules are covered) all three must produce
+    /// byte-identical corpora, communication traces (counts, bytes,
+    /// local/remote steps, supersteps), round counts and relative-entropy
+    /// traces. These are info-driven runs, so the equivalence includes the
+    /// early-termination path: the controller stops the round loop from the
+    /// coordinator before the `max_rounds` budget, and the run-scoped
+    /// backend must stop at exactly the same round as the references.
+    /// Spawn accounting is the tentpole claim: `machines` threads for the
+    /// whole run under `RoundLoop` vs `machines × rounds` under `Pool`.
     #[test]
-    fn pool_and_spawn_per_step_are_bit_identical(
+    fn round_loop_pool_and_spawn_per_step_are_bit_identical(
         seed in 0u64..12,
         machines in 1usize..5,
         incremental in any::<bool>(),
@@ -170,16 +178,38 @@ proptest! {
             WalkEngineConfig::huge_d()
         }
         .with_seed(seed);
-        let pool = run_distributed_walks(&g, &p, &base);
+        let round_loop = run_distributed_walks(&g, &p, &base); // the default
+        prop_assert_eq!(base.execution, ExecutionBackend::RoundLoop);
+        let pool = run_distributed_walks(&g, &p, &base.with_execution(ExecutionBackend::Pool));
         let spawn = run_distributed_walks(
             &g,
             &p,
             &base.with_execution(ExecutionBackend::SpawnPerStep),
         );
-        prop_assert_eq!(&pool.corpus, &spawn.corpus);
-        prop_assert_eq!(&pool.comm, &spawn.comm);
-        prop_assert_eq!(pool.rounds, spawn.rounds);
-        prop_assert_eq!(&pool.relative_entropy_trace, &spawn.relative_entropy_trace);
+        for other in [&pool, &spawn] {
+            prop_assert_eq!(&round_loop.corpus, &other.corpus);
+            prop_assert_eq!(&round_loop.comm, &other.comm);
+            prop_assert_eq!(round_loop.rounds, other.rounds);
+            prop_assert_eq!(
+                &round_loop.relative_entropy_trace,
+                &other.relative_entropy_trace
+            );
+        }
+        // Early termination happened on the coordinator (ΔD ≤ δ), within
+        // the configured budget.
+        let max_rounds = match base.walks_per_node {
+            distger_walks::WalkCountPolicy::InfoDriven { max_rounds, .. } => max_rounds,
+            _ => unreachable!("info-driven configs drive this property"),
+        };
+        prop_assert!(round_loop.rounds >= 2 && round_loop.rounds <= max_rounds);
+        // The tentpole: thread spawns per run drop from machines × rounds
+        // to machines.
+        prop_assert_eq!(round_loop.pool_spawn_count, machines as u64);
+        prop_assert_eq!(
+            pool.pool_spawn_count,
+            machines as u64 * pool.rounds as u64
+        );
+        prop_assert!(spawn.pool_spawn_count >= pool.pool_spawn_count);
     }
 
     /// On weighted graphs the alias backend consumes randomness differently,

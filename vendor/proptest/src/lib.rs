@@ -14,6 +14,14 @@
 //! Unlike the real crate there is **no shrinking**: a failing case reports
 //! its test name and case index, which — because generation is deterministic
 //! per `(test name, case index)` — is enough to reproduce it exactly.
+//!
+//! The `PROPTEST_CASES` environment variable overrides the case count of
+//! every property (including those with an explicit
+//! `ProptestConfig::with_cases`) — this is what CI's scheduled deep-soak job
+//! uses to run the same suites at elevated depth. Note the divergence from
+//! the real crate, where the variable only feeds `ProptestConfig::default`:
+//! here the override always wins, because a soak job must be able to deepen
+//! suites that pinned their per-PR case budget.
 
 pub use strategy::Strategy;
 
@@ -82,6 +90,31 @@ pub mod test_runner {
         pub fn next_bounded(&mut self, bound: u64) -> u64 {
             debug_assert!(bound > 0);
             ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// The case count a property actually runs: the `PROPTEST_CASES`
+    /// environment variable when set (the deep-soak override), otherwise the
+    /// configured count.
+    ///
+    /// # Panics
+    /// Panics if `PROPTEST_CASES` is set but not a positive integer — a
+    /// silently ignored override would defeat the soak job it exists for.
+    pub fn resolved_cases(configured: u32) -> u64 {
+        resolve_cases_from(std::env::var("PROPTEST_CASES").ok().as_deref(), configured)
+    }
+
+    pub(crate) fn resolve_cases_from(env: Option<&str>, configured: u32) -> u64 {
+        match env {
+            Some(raw) => raw
+                .trim()
+                .parse::<u64>()
+                .ok()
+                .filter(|&cases| cases > 0)
+                .unwrap_or_else(|| {
+                    panic!("PROPTEST_CASES must be a positive integer, got {raw:?}")
+                }),
+            None => configured as u64,
         }
     }
 
@@ -399,7 +432,8 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
-            for case in 0..config.cases as u64 {
+            let cases = $crate::test_runner::resolved_cases(config.cases);
+            for case in 0..cases {
                 let mut rng = $crate::test_runner::rng_for_case(
                     concat!(module_path!(), "::", stringify!($name)),
                     case,
@@ -412,10 +446,13 @@ macro_rules! __proptest_impl {
                     })();
                 if let ::core::result::Result::Err(e) = result {
                     panic!(
-                        "property {} failed at case {}/{}: {}",
+                        "property {} failed at case {}/{} \
+                         (deterministic per (test name, case index) — rerun \
+                         with PROPTEST_CASES >= {} to reproduce): {}",
                         stringify!($name),
                         case,
-                        config.cases,
+                        cases,
+                        case + 1,
                         e
                     );
                 }
@@ -457,5 +494,25 @@ mod tests {
         let a = s.generate(&mut crate::test_runner::rng_for_case("t", 3));
         let b = s.generate(&mut crate::test_runner::rng_for_case("t", 3));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn env_override_wins_over_configured_cases() {
+        use crate::test_runner::resolve_cases_from;
+        assert_eq!(resolve_cases_from(None, 64), 64);
+        assert_eq!(resolve_cases_from(Some("512"), 64), 512);
+        assert_eq!(resolve_cases_from(Some(" 7 "), 64), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn invalid_env_override_is_rejected() {
+        crate::test_runner::resolve_cases_from(Some("many"), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn zero_env_override_is_rejected() {
+        crate::test_runner::resolve_cases_from(Some("0"), 64);
     }
 }
