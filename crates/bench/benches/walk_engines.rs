@@ -24,8 +24,8 @@ use distger_serve::{
     gaussian_clusters, EmbeddingIndex, QueryBackend, QueryBatch, QueryEngine, ServeConfig, TopK,
 };
 use distger_walks::{
-    run_distributed_walks, ExecutionBackend, FreqBackend, LengthPolicy, SamplingBackend,
-    WalkCountPolicy, WalkEngineConfig, WalkModel, WalkResult,
+    run_distributed_walks, CheckpointPolicy, ExecutionBackend, FreqBackend, LengthPolicy,
+    SamplingBackend, WalkCountPolicy, WalkEngineConfig, WalkModel, WalkResult,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -532,6 +532,95 @@ fn export_reports(_c: &mut Criterion) {
         query_speedup_report.push("lsh_recall_at_10", vec![recall]);
     }
 
+    // Part 5: fault-tolerance overhead — the round-loop walk engine with an
+    // every-round checkpoint policy vs the plain fault-free run, on the same
+    // many-small-rounds workload as Part 3 (many rounds means many
+    // checkpoints: the worst case for the policy). `checkpoint_secs` and
+    // `checkpoint_bytes` are the engine's own accounting of the snapshot
+    // cost. The gated ratio row follows the `lsh_recall_at_10` idiom: a 1.06
+    // floor under the 15% tolerance makes the *effective* floor 0.90 — i.e.
+    // every-round checkpointing must cost at most 10% of the fault-free
+    // throughput, which is the robustness PR's acceptance contract.
+    let (graph, partitioning) = small_rounds_workload();
+    let mut checkpoint_report = Report::new(
+        "checkpoint_overhead",
+        "Walk throughput with round-granular checkpointing (every round) vs fault-free \
+         (Barabási–Albert n=2000 m=8, 8 machines, L=8, r=12)",
+        &[
+            "steps_per_sec",
+            "total_steps",
+            "best_secs",
+            "checkpoint_secs",
+            "checkpoint_bytes",
+        ],
+    );
+    let mut checkpoint_speedup_report = Report::new(
+        "checkpoint_overhead_speedup",
+        "Checkpointed-over-fault-free walk throughput ratio (>= 0.90 effective floor: \
+         every-round snapshots may cost at most 10%)",
+        &["checkpointed_over_fault_free"],
+    );
+    let base_config = small_rounds_config(ExecutionBackend::RoundLoop);
+    let checkpointed_config = base_config.with_checkpoint_policy(CheckpointPolicy::every(1));
+    // The two configs run the identical walk and differ by ~1 ms of snapshot
+    // encoding on a ~17 ms run, so the ratio is noise-sensitive: reps are
+    // interleaved (fault-free, checkpointed, fault-free, ...) at triple the
+    // usual count so both sides sample the same machine-load phases and
+    // reliably reach their floor times.
+    let checkpoint_configs = [
+        ("fault_free", &base_config),
+        ("checkpointed", &checkpointed_config),
+    ];
+    let mut checkpoint_best: [Option<(f64, WalkResult)>; 2] = [None, None];
+    for _ in 0..3 * reps {
+        for (slot, (_, config)) in checkpoint_configs.iter().enumerate() {
+            let start = Instant::now();
+            let result = black_box(run_distributed_walks(graph, partitioning, config));
+            let secs = start.elapsed().as_secs_f64();
+            if checkpoint_best[slot]
+                .as_ref()
+                .is_none_or(|(best, _)| secs < *best)
+            {
+                checkpoint_best[slot] = Some((secs, result));
+            }
+        }
+    }
+    let mut checkpoint_rates = Vec::new();
+    for ((label, _), slot) in checkpoint_configs.into_iter().zip(checkpoint_best) {
+        let (best_secs, result) = slot.expect("reps >= 1");
+        let total_steps = result.comm.total_steps();
+        let steps_per_sec = total_steps as f64 / best_secs;
+        println!(
+            "checkpoint_overhead/{label}: {steps_per_sec:.0} steps/s \
+             ({total_steps} steps in {best_secs:.4}s, {:.4}s checkpointing, \
+             {} checkpoint bytes)",
+            result.checkpoint_secs, result.checkpoint_bytes
+        );
+        checkpoint_report.push(
+            label,
+            vec![
+                steps_per_sec,
+                total_steps as f64,
+                best_secs,
+                result.checkpoint_secs,
+                result.checkpoint_bytes as f64,
+            ],
+        );
+        checkpoint_rates.push(steps_per_sec);
+    }
+    if let [fault_free, checkpointed] = checkpoint_rates[..] {
+        println!(
+            "checkpoint_overhead: checkpointed/fault_free = {:.3}x \
+             ({:.1}% overhead at an every-round policy)",
+            checkpointed / fault_free,
+            (1.0 - checkpointed / fault_free) * 100.0
+        );
+        checkpoint_speedup_report.push(
+            "checkpointed_over_fault_free",
+            vec![checkpointed / fault_free],
+        );
+    }
+
     let combined = object([
         ("id", Value::from("bench_walks".to_string())),
         (
@@ -552,6 +641,8 @@ fn export_reports(_c: &mut Criterion) {
                 round_loop_speedup_report.to_json(),
                 query_report.to_json(),
                 query_speedup_report.to_json(),
+                checkpoint_report.to_json(),
+                checkpoint_speedup_report.to_json(),
             ]),
         ),
     ]);
@@ -568,6 +659,8 @@ fn export_reports(_c: &mut Criterion) {
     println!("{}", round_loop_speedup_report.to_text());
     println!("{}", query_report.to_text());
     println!("{}", query_speedup_report.to_text());
+    println!("{}", checkpoint_report.to_text());
+    println!("{}", checkpoint_speedup_report.to_text());
 }
 
 criterion_group!(

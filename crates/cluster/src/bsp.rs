@@ -27,6 +27,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::comm::{CommStats, MessageSize};
+use crate::fault::{panic_message, FaultInjector, RecoveryExhausted, RecoveryPolicy};
 use crate::pool::{run_rounds, ExecutionBackend};
 use crate::MachineId;
 
@@ -195,6 +196,10 @@ struct MachineSlot<S, M> {
 /// spawn-per-step boundary, so inbox contents are bit-identical across
 /// backends. `append` transfers elements and keeps both allocations.
 fn exchange_messages<S, M>(slots: &[Mutex<MachineSlot<S, M>>]) {
+    // Safety of the unwraps: the exchange runs in the coordinator's
+    // exclusive control phase with every worker parked at the barrier, and a
+    // worker panic poisons the barrier before the coordinator can get here —
+    // the locks are never contended and never poisoned.
     for src in 0..slots.len() {
         let mut src_slot = slots[src].lock().unwrap();
         let src_slot = &mut *src_slot;
@@ -286,6 +291,46 @@ where
     F: for<'a> Fn(MachineId, &mut S, Mailbox<'a, M>, &mut Outbox<M>) + Sync,
     C: FnMut(&mut [&mut S]) -> Option<Vec<Vec<M>>>,
 {
+    run_bsp_round_loop_with(
+        states,
+        max_supersteps,
+        step,
+        |states, _comm| boundary(states),
+        None,
+    )
+}
+
+/// [`run_bsp_round_loop`] with the two hooks the fault-tolerance layer
+/// needs; the plain variant delegates here with both disabled, so the
+/// default path pays nothing.
+///
+/// * **Comm-aware boundary** — the callback additionally receives the
+///   communication statistics accumulated *so far in this invocation*
+///   (traffic summed over all machines; `supersteps` is the max of any
+///   completed round). A checkpointing caller must persist traffic totals at
+///   the round boundary: a later crash discards the machine slots — and the
+///   partial round's traffic with them — so the statistics cannot be
+///   reconstructed after the fact.
+/// * **Fault injection** — when `faults` is `Some`, every worker calls
+///   [`trip(machine, round, superstep)`](FaultInjector::trip) at the top of
+///   its compute phase, with 0-based round/superstep coordinates published
+///   by the coordinator (the barrier orders the writes before the reads).
+///   The trip runs *before* the worker locks its slot, so an injected panic
+///   poisons the barrier — exactly like a real crash — but never the slot
+///   mutex.
+pub fn run_bsp_round_loop_with<S, M, F, C>(
+    states: Vec<S>,
+    max_supersteps: u64,
+    step: F,
+    mut boundary: C,
+    faults: Option<&FaultInjector>,
+) -> BspOutcome<S>
+where
+    S: Send,
+    M: MessageSize + Send,
+    F: for<'a> Fn(MachineId, &mut S, Mailbox<'a, M>, &mut Outbox<M>) + Sync,
+    C: FnMut(&mut [&mut S], &CommStats) -> Option<Vec<Vec<M>>>,
+{
     let num_machines = states.len();
     assert!(num_machines > 0, "need at least one machine");
     let slots: Vec<Mutex<MachineSlot<S, M>>> = states
@@ -303,7 +348,21 @@ where
     let mut total_supersteps: u64 = 0;
     let mut round_supersteps: u64 = 0;
     let mut max_round_supersteps: u64 = 0;
+    // Rounds seeded so far; `cur_round`/`cur_superstep` publish the 0-based
+    // coordinates of the superstep about to run, written by the coordinator
+    // and read by the workers for fault injection (Relaxed suffices: the
+    // round-start barrier crossing orders the store before the loads).
+    let mut seeded_rounds: u64 = 0;
+    let cur_round = AtomicU64::new(0);
+    let cur_superstep = AtomicU64::new(0);
 
+    // Safety of the slot-lock unwraps below: a slot mutex is only ever
+    // locked by its pinned worker during the compute phase and by the
+    // coordinator during the exclusive control phase, which the pool barrier
+    // strictly alternates — so the locks are never contended. Nor can they
+    // be poisoned here: a worker that panics inside `step` poisons the
+    // *barrier* during unwinding, the coordinator's next wait fails, and the
+    // panic is re-raised from the join before any of these sites runs again.
     let stats = run_rounds(
         num_machines,
         |generation| {
@@ -322,6 +381,7 @@ where
                 );
                 round_supersteps += 1;
                 total_supersteps += 1;
+                cur_superstep.store(round_supersteps - 1, Ordering::Relaxed);
                 return true;
             }
             // Round boundary: every inbox drained, so the previous round (if
@@ -330,10 +390,17 @@ where
             max_round_supersteps = max_round_supersteps.max(round_supersteps);
             round_supersteps = 0;
             let mut guards: Vec<_> = slots.iter().map(|slot| slot.lock().unwrap()).collect();
+            // Traffic accumulated over all completed rounds of this
+            // invocation (partial rounds cannot reach a boundary).
+            let mut comm_so_far = CommStats::new();
+            for guard in guards.iter() {
+                comm_so_far.merge(&guard.outbox.stats);
+            }
+            comm_so_far.supersteps = max_round_supersteps;
             loop {
                 let mut states: Vec<&mut S> =
                     guards.iter_mut().map(|guard| &mut guard.state).collect();
-                let seeds = boundary(&mut states);
+                let seeds = boundary(&mut states, &comm_so_far);
                 drop(states);
                 let Some(mut seeds) = seeds else {
                     return false;
@@ -351,6 +418,9 @@ where
                     );
                     round_supersteps = 1;
                     total_supersteps += 1;
+                    cur_round.store(seeded_rounds, Ordering::Relaxed);
+                    cur_superstep.store(0, Ordering::Relaxed);
+                    seeded_rounds += 1;
                     return true;
                 }
                 // All-empty seeds: retry the boundary instead of running a
@@ -358,6 +428,13 @@ where
             }
         },
         |machine, _generation| {
+            if let Some(injector) = faults {
+                injector.trip(
+                    machine,
+                    cur_round.load(Ordering::Relaxed),
+                    cur_superstep.load(Ordering::Relaxed),
+                );
+            }
             let mut slot = slots[machine].lock().unwrap();
             let slot = &mut *slot;
             let mailbox = Mailbox {
@@ -370,6 +447,9 @@ where
     let mut comm = CommStats::new();
     let mut states = Vec::with_capacity(num_machines);
     for slot in slots {
+        // Safety of the unwrap: reaching this line means `run_rounds`
+        // returned normally, so no participant panicked while holding a slot
+        // (a worker panic would have re-raised from the join above).
         let slot = slot.into_inner().unwrap();
         comm.merge(&slot.outbox.stats);
         states.push(slot.state);
@@ -381,6 +461,82 @@ where
         supersteps: total_supersteps,
         sync_secs: stats.sync_secs,
         spawn_count: stats.spawn_count,
+    }
+}
+
+/// Supervised wrapper around [`run_bsp_round_loop_with`]: catches a poisoned
+/// run, lets the caller restore its coordinator state from the latest valid
+/// checkpoint, rebuilds the worker pool, and retries under a bounded
+/// [`RecoveryPolicy`] with capped exponential backoff.
+///
+/// The division of labour follows from what survives a crash. Machine slots
+/// (per-machine states, in-flight messages, outbox statistics) die with the
+/// poisoned pool; only the caller's coordinator context `ctx` — everything
+/// harvested at round boundaries — survives. So:
+///
+/// * `restore(ctx, attempt)` opens every attempt (`attempt` is 0 for the
+///   first). It rolls `ctx` back to the latest checkpoint (for attempt 0, the
+///   initial state) and returns **fresh per-machine states** for the new
+///   pool.
+/// * `boundary(ctx, states, comm)` is the comm-aware round boundary of
+///   [`run_bsp_round_loop_with`], additionally given `ctx` — this is where a
+///   caller harvests the finished round into `ctx` and snapshots it.
+/// * A panic anywhere in the attempt (worker step, boundary, injected fault)
+///   is caught; if the policy allows another attempt the supervisor backs
+///   off and retries, otherwise it returns [`RecoveryExhausted`] carrying
+///   the last panic message.
+///
+/// The returned [`BspOutcome`] is the successful attempt's: its `comm`
+/// covers only that attempt's rounds, so a restoring caller merges it with
+/// the checkpointed statistics ([`CommStats::merge`] sums traffic and takes
+/// the max of the per-round superstep peaks, which composes correctly across
+/// the attempt boundary).
+pub fn run_bsp_supervised<T, S, M, F, R, C>(
+    policy: RecoveryPolicy,
+    ctx: &mut T,
+    mut restore: R,
+    max_supersteps: u64,
+    step: F,
+    mut boundary: C,
+    faults: Option<&FaultInjector>,
+) -> Result<BspOutcome<S>, RecoveryExhausted>
+where
+    S: Send,
+    M: MessageSize + Send,
+    F: for<'a> Fn(MachineId, &mut S, Mailbox<'a, M>, &mut Outbox<M>) + Sync,
+    R: FnMut(&mut T, u32) -> Vec<S>,
+    C: FnMut(&mut T, &mut [&mut S], &CommStats) -> Option<Vec<Vec<M>>>,
+{
+    let mut attempt: u32 = 0;
+    loop {
+        let states = restore(ctx, attempt);
+        // AssertUnwindSafe: on a caught panic the closure's captures are
+        // only touched again *after* `restore` rolled `ctx` back to a
+        // checkpointed (consistent) state — crash-time partial mutations of
+        // `ctx` are discarded, which is the whole point of the protocol.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_bsp_round_loop_with(
+                states,
+                max_supersteps,
+                &step,
+                |states, comm| boundary(ctx, states, comm),
+                faults,
+            )
+        }));
+        match result {
+            Ok(outcome) => return Ok(outcome),
+            Err(payload) => {
+                attempt += 1;
+                let last_panic = panic_message(payload.as_ref());
+                if attempt > policy.max_retries {
+                    return Err(RecoveryExhausted {
+                        attempts: attempt,
+                        last_panic,
+                    });
+                }
+                std::thread::sleep(policy.backoff_for(attempt));
+            }
+        }
     }
 }
 
@@ -782,6 +938,183 @@ mod tests {
             rounds += 1;
             Some((0..3).map(|_| vec![Token { remaining: 2 }]).collect())
         });
+    }
+
+    /// The comm-aware boundary sees cumulative completed-round traffic, and
+    /// the final outcome matches the last boundary's view.
+    #[test]
+    fn round_loop_boundary_observes_cumulative_comm() {
+        let mut boundary_comm: Vec<CommStats> = Vec::new();
+        let mut next_round = 0u64;
+        let outcome = run_bsp_round_loop_with(
+            vec![0u64; 3],
+            100,
+            ring_step::<3>,
+            |_states, comm| {
+                boundary_comm.push(comm.clone());
+                if next_round == 3 {
+                    return None;
+                }
+                next_round += 1;
+                Some((0..3).map(|_| vec![Token { remaining: 2 }]).collect())
+            },
+            None,
+        );
+        assert_eq!(boundary_comm.len(), 4);
+        assert_eq!(boundary_comm[0], CommStats::new(), "nothing ran yet");
+        // Each round: 3 tokens × 2 hops, all cross-machine.
+        for (i, comm) in boundary_comm.iter().enumerate() {
+            assert_eq!(comm.messages, 6 * i as u64);
+            assert_eq!(comm.bytes, 6 * 16 * i as u64);
+        }
+        assert_eq!(outcome.comm, boundary_comm[3]);
+    }
+
+    /// An injected fault at exact `(machine, round, superstep)` coordinates
+    /// panics the run with a message naming those coordinates.
+    #[test]
+    fn round_loop_fault_injection_hits_exact_coordinates() {
+        let injector = crate::fault::FaultPlan::new().panic_at(1, 2, 1).build();
+        let mut next_round = 0u64;
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_bsp_round_loop_with(
+                vec![0u64; 3],
+                100,
+                ring_step::<3>,
+                |_states, _comm| {
+                    if next_round == 5 {
+                        return None;
+                    }
+                    next_round += 1;
+                    Some((0..3).map(|_| vec![Token { remaining: 3 }]).collect())
+                },
+                Some(&injector),
+            )
+        }))
+        .unwrap_err();
+        assert_eq!(
+            crate::fault::panic_message(err.as_ref()),
+            "injected fault: machine 1 round 2 superstep 1"
+        );
+        assert_eq!(injector.injected_faults(), 1);
+    }
+
+    /// The supervised loop recovers an injected crash from the caller's
+    /// checkpoint and finishes with results identical to a fault-free run —
+    /// including the comm statistics stitched across the attempt boundary.
+    #[test]
+    fn supervised_run_recovers_to_fault_free_results() {
+        let rounds = 4u64;
+        let fault_free = {
+            let mut next_round = 0u64;
+            run_bsp_round_loop(vec![0u64; 3], 100, ring_step::<3>, |_states| {
+                if next_round == rounds {
+                    return None;
+                }
+                next_round += 1;
+                Some((0..3).map(|_| vec![Token { remaining: 2 }]).collect())
+            })
+        };
+
+        // Coordinator context: harvested per-machine token counts, completed
+        // rounds, and checkpointed comm — everything a crash must not lose.
+        #[derive(Clone, Default)]
+        struct Ctx {
+            counts: Vec<u64>,
+            rounds: u64,
+            comm: CommStats,
+            checkpoint: Option<(Vec<u64>, u64, CommStats)>,
+            restores: u32,
+        }
+        let mut ctx = Ctx {
+            counts: vec![0; 3],
+            ..Ctx::default()
+        };
+        let injector = crate::fault::FaultPlan::new().panic_at(2, 2, 0).build();
+        let outcome = run_bsp_supervised(
+            RecoveryPolicy::retries(2),
+            &mut ctx,
+            |ctx, attempt| {
+                if attempt > 0 {
+                    ctx.restores += 1;
+                    let (counts, rounds, comm) = ctx
+                        .checkpoint
+                        .clone()
+                        .expect("crash happened after a checkpoint");
+                    ctx.counts = counts;
+                    ctx.rounds = rounds;
+                    ctx.comm = comm;
+                }
+                // Fresh machine states; harvested counts live in ctx.
+                vec![0u64; 3]
+            },
+            100,
+            ring_step::<3>,
+            |ctx, states, comm| {
+                for (total, state) in ctx.counts.iter_mut().zip(states.iter()) {
+                    *total += **state;
+                    // Consumed into ctx: zero so re-harvesting can't double
+                    // count (states accumulate across this attempt's rounds).
+                }
+                for state in states.iter_mut() {
+                    **state = 0;
+                }
+                if ctx.rounds == rounds {
+                    return None;
+                }
+                // Checkpoint every completed round: harvested counts plus
+                // base comm merged with this attempt's traffic so far.
+                let mut total_comm = ctx.comm.clone();
+                total_comm.merge(comm);
+                ctx.checkpoint = Some((ctx.counts.clone(), ctx.rounds, total_comm));
+                ctx.rounds += 1;
+                Some((0..3).map(|_| vec![Token { remaining: 2 }]).collect())
+            },
+            Some(&injector),
+        )
+        .expect("policy allows recovery");
+
+        assert_eq!(ctx.restores, 1, "exactly one recovery");
+        assert_eq!(injector.injected_faults(), 1);
+        assert_eq!(ctx.rounds, rounds);
+        let fault_free_total: u64 = fault_free.states.iter().sum();
+        assert_eq!(ctx.counts.iter().sum::<u64>(), fault_free_total);
+        // Comm across the attempt boundary: checkpointed base + final
+        // attempt's outcome equals the fault-free totals exactly.
+        let mut recovered_comm = ctx.comm.clone();
+        recovered_comm.merge(&outcome.comm);
+        assert_eq!(recovered_comm, fault_free.comm);
+    }
+
+    /// When the policy disallows retries (or they run out), the supervisor
+    /// returns a clean error carrying the last panic message — no deadlock,
+    /// no propagated panic.
+    #[test]
+    fn supervised_run_exhausts_policy_into_clean_error() {
+        // The second fault sits in a later round so the two crashes cannot
+        // race within one superstep: attempt 0 dies at round 0 (machine 0),
+        // the retry replays round 0 cleanly and dies at round 1 (machine 1).
+        let injector = crate::fault::FaultPlan::new()
+            .panic_at(0, 0, 0)
+            .panic_at(1, 1, 0)
+            .build();
+        let mut ctx = ();
+        let err = run_bsp_supervised(
+            RecoveryPolicy::retries(1),
+            &mut ctx,
+            |_ctx, _attempt| vec![0u64; 2],
+            100,
+            ring_step::<2>,
+            |_ctx, _states, _comm| Some((0..2).map(|_| vec![Token { remaining: 2 }]).collect()),
+            Some(&injector),
+        )
+        .unwrap_err();
+        assert_eq!(err.attempts, 2);
+        assert!(
+            err.last_panic.contains("injected fault: machine 1 round 1"),
+            "{}",
+            err.last_panic
+        );
     }
 
     /// A panicking machine must poison the pool's barrier so the other

@@ -19,20 +19,35 @@
 //!   message is counted with an explicit byte size, and an analytic
 //!   [`NetworkModel`] converts the traffic into modelled communication time;
 //! * **memory accounting** ([`memory`]) for the Table 3 / Table 8 footprints;
-//! * wall-clock **phase timing** ([`timer`]).
+//! * wall-clock **phase timing** ([`timer`]);
+//! * **fault tolerance** ([`fault`]): deterministic fault injection
+//!   ([`FaultPlan`] / [`FaultInjector`]) threaded through the execution
+//!   backends as a zero-cost-when-disabled hook, and supervised recovery
+//!   ([`run_bsp_supervised`]) that restores a caller checkpoint and retries
+//!   a poisoned run under a bounded [`RecoveryPolicy`].
 
 pub mod bsp;
 pub mod comm;
 pub mod config;
+pub mod fault;
 pub mod memory;
 pub mod pool;
 pub mod timer;
 
-pub use bsp::{run_bsp, run_bsp_round_loop, run_bsp_with, BspOutcome, Mailbox, Outbox};
+pub use bsp::{
+    run_bsp, run_bsp_round_loop, run_bsp_round_loop_with, run_bsp_supervised, run_bsp_with,
+    BspOutcome, Mailbox, Outbox,
+};
 pub use comm::{CommStats, MessageSize, NetworkModel};
 pub use config::ClusterConfig;
+pub use fault::{
+    panic_message, FaultInjector, FaultKind, FaultPlan, FaultPoint, RecoveryExhausted,
+    RecoveryPolicy,
+};
 pub use memory::MemoryEstimate;
-pub use pool::{run_rounds, BarrierPoisoned, EpochBarrier, ExecutionBackend, PoolStats};
+pub use pool::{
+    run_rounds, run_rounds_with, BarrierPoisoned, EpochBarrier, ExecutionBackend, PoolStats,
+};
 pub use timer::{PhaseTimes, Stopwatch};
 
 /// Identifier of a simulated machine (re-exported from `distger-partition` so

@@ -27,8 +27,9 @@
 //! original panic propagates through `std::thread::scope` instead of
 //! deadlocking the run.
 
+use crate::fault::FaultInjector;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Which thread-management strategy executes the supersteps of a BSP run.
@@ -114,8 +115,15 @@ impl EpochBarrier {
 
     /// Blocks until all `parties` participants have called `wait` in the
     /// current generation, or until the barrier is poisoned.
+    ///
+    /// Lock poisoning is recovered rather than propagated: `BarrierState` is
+    /// three plain counters/flags with no invariant spanning statements, so
+    /// it is valid in whatever state a panicking holder left it — and the
+    /// barrier has its own explicit poison channel that the panic guards
+    /// drive. Panicking here instead would turn an orderly poisoned-barrier
+    /// shutdown into a double panic inside `Drop`, which aborts the process.
     pub fn wait(&self) -> Result<(), BarrierPoisoned> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.poisoned {
             return Err(BarrierPoisoned);
         }
@@ -128,7 +136,10 @@ impl EpochBarrier {
         }
         let epoch = state.epoch;
         while state.epoch == epoch && !state.poisoned {
-            state = self.cvar.wait(state).unwrap();
+            state = self
+                .cvar
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         if state.poisoned {
             Err(BarrierPoisoned)
@@ -139,15 +150,22 @@ impl EpochBarrier {
 
     /// Marks the barrier as failed and wakes every waiter. All subsequent
     /// waits return [`BarrierPoisoned`] immediately.
+    ///
+    /// Recovers a poisoned lock for the same reason as
+    /// [`wait`](EpochBarrier::wait) — this method is called from panic
+    /// guards, where a second panic would abort the process.
     pub fn poison(&self) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.poisoned = true;
         self.cvar.notify_all();
     }
 
     /// Whether [`poison`](EpochBarrier::poison) has been called.
     pub fn is_poisoned(&self) -> bool {
-        self.state.lock().unwrap().poisoned
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .poisoned
     }
 }
 
@@ -198,7 +216,27 @@ pub struct PoolStats {
 /// # Panics
 /// A panic in `work` or `control` poisons the barrier (so no participant
 /// deadlocks) and then propagates to the caller.
-pub fn run_rounds<C, W>(workers: usize, mut control: C, work: W) -> PoolStats
+pub fn run_rounds<C, W>(workers: usize, control: C, work: W) -> PoolStats
+where
+    C: FnMut(u64) -> bool,
+    W: Fn(usize, u64) + Sync,
+{
+    run_rounds_with(workers, control, work, None)
+}
+
+/// [`run_rounds`] with an optional [`FaultInjector`] hook.
+///
+/// When `faults` is `Some`, every worker calls
+/// [`trip(worker, round, 0)`](FaultInjector::trip) at the top of its compute
+/// phase, so a plan can panic or delay machine `m` at the start of round `r`.
+/// `None` (the [`run_rounds`] path) skips the hook entirely — the disabled
+/// case costs nothing.
+pub fn run_rounds_with<C, W>(
+    workers: usize,
+    mut control: C,
+    work: W,
+    faults: Option<&FaultInjector>,
+) -> PoolStats
 where
     C: FnMut(u64) -> bool,
     W: Fn(usize, u64) + Sync,
@@ -236,6 +274,9 @@ where
                         }
                         if stop.load(Ordering::Acquire) {
                             return;
+                        }
+                        if let Some(injector) = faults {
+                            injector.trip(worker, round, 0);
                         }
                         let started = Instant::now();
                         work(worker, round);
@@ -400,5 +441,54 @@ mod tests {
     #[should_panic(expected = "at least one barrier participant")]
     fn zero_parties_rejected() {
         EpochBarrier::new(0);
+    }
+
+    #[test]
+    fn barrier_survives_a_poisoned_state_lock() {
+        // Regression for the unwrap audit: a thread that panics while
+        // holding the state mutex poisons the *lock* (not just the barrier).
+        // Every barrier entry point must keep functioning afterwards instead
+        // of double-panicking — in production the poisoner is a panic guard
+        // running during unwinding, where a second panic aborts the process.
+        let barrier = EpochBarrier::new(2);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = barrier.state.lock().unwrap();
+            panic!("poison the state lock");
+        }));
+        assert!(barrier.state.is_poisoned(), "lock should be poisoned");
+
+        assert!(
+            !barrier.is_poisoned(),
+            "explicit poison flag still readable"
+        );
+        barrier.poison();
+        assert!(barrier.is_poisoned());
+        assert_eq!(barrier.wait(), Err(BarrierPoisoned));
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: machine 2 round 3 superstep 0")]
+    fn injected_worker_panic_propagates_cleanly() {
+        let injector = crate::fault::FaultPlan::new().panic_at(2, 3, 0).build();
+        run_rounds_with(4, |round| round < 100, |_, _| {}, Some(&injector));
+    }
+
+    #[test]
+    fn injected_delay_leaves_results_unchanged() {
+        let counters: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        let injector = crate::fault::FaultPlan::new().delay_at(1, 2, 0, 1).build();
+        let stats = run_rounds_with(
+            3,
+            |round| round < 5,
+            |worker, _| {
+                counters[worker].fetch_add(1, Ordering::SeqCst);
+            },
+            Some(&injector),
+        );
+        assert_eq!(stats.rounds, 5);
+        assert_eq!(injector.injected_delays(), 1);
+        for counter in &counters {
+            assert_eq!(counter.load(Ordering::SeqCst), 5);
+        }
     }
 }

@@ -10,8 +10,9 @@
 //! participant counts, not just the fixed shapes of the unit tests.
 
 use distger_cluster::{
-    run_bsp, run_bsp_round_loop, run_rounds, BarrierPoisoned, CommStats, EpochBarrier, Mailbox,
-    MessageSize, Outbox,
+    panic_message, run_bsp, run_bsp_round_loop, run_bsp_supervised, run_rounds, run_rounds_with,
+    BarrierPoisoned, CommStats, EpochBarrier, FaultPlan, Mailbox, MessageSize, Outbox,
+    RecoveryPolicy,
 };
 use proptest::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -217,5 +218,202 @@ proptest! {
         prop_assert_eq!(outcome.supersteps, per_round_supersteps);
         prop_assert_eq!(outcome.spawn_count, machines as u64);
         prop_assert_eq!(per_round_spawns, machines as u64 * rounds);
+    }
+
+    /// An injected worker panic via `run_rounds_with` — any worker, any
+    /// round, any pool size — propagates cleanly (no deadlock) with the
+    /// injector's coordinate-naming message, and fires exactly once.
+    #[test]
+    fn injected_pool_fault_propagates_cleanly(
+        workers in 1usize..7,
+        villain_pick in 0usize..7,
+        fault_round in 0u64..4,
+    ) {
+        let villain = villain_pick % workers;
+        let faults = FaultPlan::new().panic_at(villain, fault_round, 0).build();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_rounds_with(workers, |round| round < 8, |_, _| {}, Some(&faults))
+        }));
+        let payload = result.expect_err("the injected panic must propagate");
+        prop_assert_eq!(
+            panic_message(payload.as_ref()),
+            format!("injected fault: machine {villain} round {fault_round} superstep 0")
+        );
+        prop_assert_eq!(faults.injected_faults(), 1);
+    }
+
+    /// Delay faults are outcome-neutral by construction: a token-ring round
+    /// loop with an injected straggler produces states, traffic and
+    /// superstep counts identical to the undelayed run.
+    #[test]
+    fn delay_faults_are_outcome_neutral(
+        machines in 1usize..5,
+        rounds in 1u64..5,
+        fan in 1u32..4,
+        delay_machine in 0usize..5,
+        delay_round in 0u64..5,
+    ) {
+        let step = fan_step(machines, fan);
+        let seeds = |round: u64| -> Vec<Vec<Token>> {
+            (0..machines)
+                .map(|m| {
+                    vec![Token {
+                        remaining: ((m as u64 + round) % 3) as u32,
+                    }]
+                })
+                .collect()
+        };
+
+        let mut next_round = 0u64;
+        let reference = run_bsp_round_loop(vec![0u64; machines], 10_000, &step, |_states| {
+            if next_round == rounds {
+                None
+            } else {
+                next_round += 1;
+                Some(seeds(next_round - 1))
+            }
+        });
+
+        let faults = FaultPlan::new()
+            .delay_at(delay_machine % machines, delay_round % rounds, 0, 1)
+            .build();
+        let mut next_round = 0u64;
+        let delayed = distger_cluster::run_bsp_round_loop_with(
+            vec![0u64; machines],
+            10_000,
+            &step,
+            |_states, _comm| {
+                if next_round == rounds {
+                    None
+                } else {
+                    next_round += 1;
+                    Some(seeds(next_round - 1))
+                }
+            },
+            Some(&faults),
+        );
+
+        prop_assert_eq!(&delayed.states, &reference.states);
+        prop_assert_eq!(&delayed.comm, &reference.comm);
+        prop_assert_eq!(delayed.supersteps, reference.supersteps);
+        prop_assert_eq!(faults.injected_delays(), 1);
+        prop_assert_eq!(faults.injected_faults(), 0);
+    }
+
+    /// Supervised recovery of the token-ring loop: a panic anywhere in
+    /// (machine, round) space, restored by full replay from round 0 (this
+    /// toy keeps no checkpoint — `restore` just resets the seeding cursor),
+    /// converges to the fault-free outcome exactly, because the one-shot
+    /// injector lets the retry sail past the fired point.
+    #[test]
+    fn supervised_round_loop_recovers_to_fault_free_outcome(
+        machines in 1usize..5,
+        rounds in 1u64..5,
+        fan in 1u32..4,
+        villain_pick in 0usize..5,
+        fault_round_pick in 0u64..5,
+    ) {
+        let step = fan_step(machines, fan);
+        let seeds = |round: u64| -> Vec<Vec<Token>> {
+            (0..machines)
+                .map(|m| {
+                    vec![Token {
+                        remaining: ((m as u64 + round) % 3) as u32,
+                    }]
+                })
+                .collect()
+        };
+
+        let mut next_round = 0u64;
+        let reference = run_bsp_round_loop(vec![0u64; machines], 10_000, &step, |_states| {
+            if next_round == rounds {
+                None
+            } else {
+                next_round += 1;
+                Some(seeds(next_round - 1))
+            }
+        });
+
+        let faults = FaultPlan::new()
+            .panic_at(villain_pick % machines, fault_round_pick % rounds, 0)
+            .build();
+        let mut cursor = 0u64;
+        let outcome = run_bsp_supervised(
+            RecoveryPolicy::retries(2),
+            &mut cursor,
+            |cursor, _attempt| {
+                *cursor = 0;
+                vec![0u64; machines]
+            },
+            10_000,
+            &step,
+            |cursor, _states, _comm| {
+                if *cursor == rounds {
+                    None
+                } else {
+                    *cursor += 1;
+                    Some(seeds(*cursor - 1))
+                }
+            },
+            Some(&faults),
+        )
+        .expect("one injected panic must recover within two retries");
+
+        prop_assert_eq!(&outcome.states, &reference.states);
+        prop_assert_eq!(&outcome.comm, &reference.comm);
+        prop_assert_eq!(outcome.supersteps, reference.supersteps);
+        prop_assert_eq!(faults.injected_faults(), 1);
+    }
+
+    /// A retry budget smaller than the number of scheduled panics surfaces
+    /// `RecoveryExhausted` — a clean error naming the last crash, never a
+    /// deadlock or a replaced payload.
+    #[test]
+    fn supervised_exhaustion_is_a_clean_error(
+        machines in 2usize..5,
+        rounds in 2u64..5,
+        fan in 1u32..4,
+    ) {
+        let step = fan_step(machines, fan);
+        let seeds = |round: u64| -> Vec<Vec<Token>> {
+            (0..machines)
+                .map(|m| {
+                    vec![Token {
+                        remaining: ((m as u64 + round) % 3) as u32,
+                    }]
+                })
+                .collect()
+        };
+        // Two panics in *distinct* rounds (same-round panics race on the
+        // barrier), one retry: attempt 1 dies in round 0, attempt 2 dies in
+        // round 1, budget spent.
+        let faults = FaultPlan::new().panic_at(0, 0, 0).panic_at(1, 1, 0).build();
+        let mut cursor = 0u64;
+        let err = run_bsp_supervised(
+            RecoveryPolicy::retries(1),
+            &mut cursor,
+            |cursor, _attempt| {
+                *cursor = 0;
+                vec![0u64; machines]
+            },
+            10_000,
+            &step,
+            |cursor, _states, _comm| {
+                if *cursor == rounds {
+                    None
+                } else {
+                    *cursor += 1;
+                    Some(seeds(*cursor - 1))
+                }
+            },
+            Some(&faults),
+        )
+        .expect_err("two panics must exhaust a one-retry budget");
+        prop_assert_eq!(err.attempts, 2);
+        prop_assert!(
+            err.last_panic.contains("injected fault: machine 1 round 1"),
+            "unexpected last panic: {}",
+            err.last_panic
+        );
     }
 }

@@ -1,7 +1,8 @@
 //! The end-to-end DistGER pipeline: partition → sample → learn.
 
 use distger_cluster::{
-    ClusterConfig, CommStats, ExecutionBackend, MemoryEstimate, PhaseTimes, Stopwatch,
+    ClusterConfig, CommStats, ExecutionBackend, MemoryEstimate, PhaseTimes, RecoveryPolicy,
+    Stopwatch,
 };
 use distger_embed::{train_distributed, Embeddings, TrainStats, TrainerConfig, TrainerKind};
 use distger_graph::CsrGraph;
@@ -13,7 +14,9 @@ use distger_partition::{
     mpgp_partition, parallel_mpgp_partition, MpgpConfig, Partitioning,
 };
 use distger_serve::{EmbeddingIndex, QueryEngine, ServeConfig};
-use distger_walks::{run_distributed_walks, SamplingBackend, WalkEngineConfig, WalkModel};
+use distger_walks::{
+    run_distributed_walks, CheckpointPolicy, SamplingBackend, WalkEngineConfig, WalkModel,
+};
 
 /// Which partitioner feeds the walk engine.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -174,6 +177,28 @@ impl DistGerConfig {
         self.training.execution = execution;
         self
     }
+
+    /// Builder-style checkpoint-policy override for the walk phase: the
+    /// supervised round loop snapshots its coordinator state every `n`-th
+    /// round so a crashed run resumes from the latest completed round. The
+    /// training phase needs no checkpoint policy — its live replicas plus
+    /// the completed-chunk counter are the recovery state (see
+    /// [`TrainerConfig::recovery`]).
+    pub fn with_checkpoint_policy(mut self, checkpoint: CheckpointPolicy) -> Self {
+        self.walks.checkpoint = checkpoint;
+        self
+    }
+
+    /// Builder-style recovery-policy override, applied to both BSP phases
+    /// (walk engine and trainer) — like
+    /// [`with_execution_backend`](DistGerConfig::with_execution_backend),
+    /// one call keeps the phases consistent, while directly assigned
+    /// `walks.recovery` / `training.recovery` fields are honored per phase.
+    pub fn with_recovery_policy(mut self, recovery: RecoveryPolicy) -> Self {
+        self.walks.recovery = recovery;
+        self.training.recovery = recovery;
+        self
+    }
 }
 
 /// Everything measured during one end-to-end run.
@@ -201,6 +226,17 @@ pub struct PipelineResult {
     pub walk_pool_spawn_count: u64,
     /// Number of walks per node actually executed.
     pub walk_rounds: usize,
+    /// Walk rounds re-executed by supervised recovery (0 on a fault-free
+    /// run; see [`distger_walks::WalkResult::recovered_rounds`]). The
+    /// training phase's equivalent lives in
+    /// [`TrainStats::recovered_chunks`](distger_embed::TrainStats).
+    pub walk_recovered_rounds: u64,
+    /// Wall-clock seconds the walk phase spent encoding round-boundary
+    /// checkpoints (0 when [`DistGerConfig::with_checkpoint_policy`] leaves
+    /// checkpointing disabled).
+    pub walk_checkpoint_secs: f64,
+    /// Total encoded checkpoint bytes the walk phase produced.
+    pub walk_checkpoint_bytes: u64,
     /// Average walk length of the sampled corpus.
     pub avg_walk_length: f64,
     /// Total corpus tokens fed to the learner.
@@ -295,6 +331,9 @@ pub fn run_pipeline(graph: &CsrGraph, config: &DistGerConfig) -> PipelineResult 
         walk_superstep_sync_secs: walk_result.superstep_sync_secs,
         walk_pool_spawn_count: walk_result.pool_spawn_count,
         walk_rounds: walk_result.rounds,
+        walk_recovered_rounds: walk_result.recovered_rounds,
+        walk_checkpoint_secs: walk_result.checkpoint_secs,
+        walk_checkpoint_bytes: walk_result.checkpoint_bytes,
         avg_walk_length: walk_result.avg_walk_length(),
         corpus_tokens: walk_result.corpus.total_tokens(),
         train_stats,
@@ -428,6 +467,29 @@ mod tests {
             }
             assert!(out.stats.wall_secs > 0.0);
         }
+    }
+
+    #[test]
+    fn checkpointed_pipeline_matches_the_plain_run() {
+        let g = barabasi_albert(300, 4, 19);
+        let base = DistGerConfig::distger(4).small().with_seed(6);
+        let plain = run_pipeline(&g, &base);
+        let hardened = run_pipeline(
+            &g,
+            &base
+                .with_checkpoint_policy(CheckpointPolicy::every(1))
+                .with_recovery_policy(RecoveryPolicy::retries(2)),
+        );
+        // Fault-free: the supervised walk phase is bit-identical to the
+        // plain one, and the stats surface the checkpoint work.
+        assert_eq!(hardened.corpus_tokens, plain.corpus_tokens);
+        assert_eq!(hardened.walk_comm, plain.walk_comm);
+        assert_eq!(hardened.walk_rounds, plain.walk_rounds);
+        assert_eq!(hardened.walk_recovered_rounds, 0);
+        assert_eq!(hardened.train_stats.recovered_chunks, 0);
+        assert!(hardened.walk_checkpoint_bytes > 0);
+        assert!(hardened.walk_checkpoint_secs >= 0.0);
+        assert_eq!(plain.walk_checkpoint_bytes, 0);
     }
 
     #[test]

@@ -193,7 +193,19 @@ impl Embeddings {
     /// Layout (all little-endian): magic `"DGEB"`, format version (`u32`),
     /// `dim` (`u32`), `num_nodes` (`u64`), FNV-1a64 checksum of the payload
     /// (`u64`), then the node-major `f32` matrix.
+    ///
+    /// The write is crash-safe: bytes go to a hidden temporary sibling first
+    /// and are atomically renamed over `path`, so a crash (or error) partway
+    /// through can never leave a torn file under the final name — a
+    /// previously saved store survives intact.
     pub fn save_binary(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let tmp = temp_sibling(path);
+        self.write_binary_to(&tmp)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    fn write_binary_to(&self, path: &Path) -> io::Result<()> {
         let mut w = BufWriter::new(std::fs::File::create(path)?);
         w.write_all(&BINARY_MAGIC)?;
         w.write_all(&BINARY_VERSION.to_le_bytes())?;
@@ -272,6 +284,17 @@ impl Embeddings {
     }
 }
 
+/// The hidden temporary sibling used by [`Embeddings::save_binary`]'s atomic
+/// write: same directory (so the final `rename` never crosses a filesystem),
+/// name-mangled so neighbouring stores cannot collide.
+fn temp_sibling(path: &Path) -> std::path::PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "embeddings".to_string());
+    path.with_file_name(format!(".{name}.tmp"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,6 +364,37 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(loaded.dim(), 3);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn torn_binary_write_leaves_previous_store_intact() {
+        let old = sample();
+        let path = temp_path("emb_torn.bin");
+        old.save_binary(&path).unwrap();
+        assert!(
+            !temp_sibling(&path).exists(),
+            "temp sibling must be renamed away after a successful save"
+        );
+        // Simulate a save killed partway: the partial bytes of a *new* store
+        // only ever reach the temp sibling, never the final name.
+        let new = Embeddings::from_node_major(vec![9.0; 6], 2);
+        let mut torn = Vec::new();
+        {
+            // Reuse the real writer to produce authentic bytes, then tear.
+            let full = temp_path("emb_torn_full.bin");
+            new.save_binary(&full).unwrap();
+            torn.extend_from_slice(&std::fs::read(&full).unwrap());
+            std::fs::remove_file(&full).ok();
+        }
+        torn.truncate(torn.len() / 2);
+        std::fs::write(temp_sibling(&path), &torn).unwrap();
+        // The store under the final name still loads as the old embeddings.
+        assert_eq!(Embeddings::load_binary(&path).unwrap(), old);
+        // A later successful save replaces both the stale temp and the file.
+        new.save_binary(&path).unwrap();
+        assert_eq!(Embeddings::load_binary(&path).unwrap(), new);
+        assert!(!temp_sibling(&path).exists());
         std::fs::remove_file(path).ok();
     }
 

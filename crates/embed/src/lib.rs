@@ -30,5 +30,12 @@ pub mod vocab;
 
 pub use embeddings::Embeddings;
 pub use sync::SyncStrategy;
-pub use trainer::{train_distributed, TrainStats, TrainerConfig, TrainerKind};
+pub use trainer::{
+    train_distributed, train_distributed_supervised, TrainStats, TrainerConfig, TrainerKind,
+};
 pub use vocab::Vocab;
+
+/// Re-exports of the fault-tolerance knobs so trainer callers can configure
+/// [`TrainerConfig::recovery`] without depending on `distger-cluster`
+/// directly.
+pub use distger_cluster::{FaultInjector, FaultPlan, RecoveryExhausted, RecoveryPolicy};

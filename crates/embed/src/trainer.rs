@@ -12,7 +12,12 @@
 //! accounted through [`CommStats`] and the thread-coordination overhead
 //! through [`TrainStats::superstep_sync_secs`].
 
-use distger_cluster::{run_rounds, CommStats, ExecutionBackend};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use distger_cluster::{
+    panic_message, run_rounds, CommStats, ExecutionBackend, FaultInjector, RecoveryExhausted,
+    RecoveryPolicy,
+};
 use distger_walks::rng::SplitMix64;
 use distger_walks::Corpus;
 
@@ -84,6 +89,13 @@ pub struct TrainerConfig {
     /// [`ExecutionBackend::SpawnPerStep`] (fresh threads per chunk, the
     /// reference).
     pub execution: ExecutionBackend,
+    /// How many times a crashed training chunk is retried before the failure
+    /// propagates. The trainer needs no explicit checkpoint: the live
+    /// replica set plus the completed-chunk counter *is* the recovery state
+    /// — a retried chunk re-trains over replicas that may already carry part
+    /// of its updates, which Hogwild-style training absorbs (at-least-once
+    /// chunk execution). Disabled by default.
+    pub recovery: RecoveryPolicy,
     /// Seed for initialization and negative sampling.
     pub seed: u64,
 }
@@ -102,6 +114,7 @@ impl Default for TrainerConfig {
             sync_rounds_per_epoch: 4,
             threads: 2,
             execution: ExecutionBackend::RoundLoop,
+            recovery: RecoveryPolicy::default(),
             seed: 0,
         }
     }
@@ -149,6 +162,12 @@ impl TrainerConfig {
         self.execution = execution;
         self
     }
+
+    /// Builder-style recovery-policy override.
+    pub fn with_recovery_policy(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
 }
 
 /// Statistics of one distributed training run.
@@ -177,21 +196,52 @@ pub struct TrainStats {
     /// Average per-machine training-phase memory footprint in bytes (model
     /// replica + negative table + corpus shard + local buffers).
     pub avg_machine_memory_bytes: usize,
+    /// Training chunks re-executed by supervised recovery (one per failed
+    /// attempt). 0 on a fault-free run.
+    pub recovered_chunks: u64,
 }
 
 /// Trains node embeddings over `corpus` on `num_machines` simulated machines.
 ///
 /// Returns the embeddings (node-id indexed, averaged over replicas) and the
-/// run statistics.
+/// run statistics. When `config.recovery` is enabled, a worker panic retries
+/// the failed chunk under the policy; an exhausted budget panics with the
+/// last worker panic's message. Use [`train_distributed_supervised`] to
+/// handle exhaustion as an error — and to inject deterministic faults.
 pub fn train_distributed(
     corpus: &Corpus,
     num_machines: usize,
     config: &TrainerConfig,
 ) -> (Embeddings, TrainStats) {
+    match train_distributed_inner(corpus, num_machines, config, None) {
+        Ok(result) => result,
+        Err(err) => panic!("supervised training failed permanently: {err}"),
+    }
+}
+
+/// [`train_distributed`] with explicit fault handling: injects the faults of
+/// a [`FaultInjector`] (fault coordinates are `(machine, chunk, 0)` with
+/// *absolute* chunk indices, stable across retries) and returns a clean
+/// error instead of panicking when the retry budget is exhausted.
+pub fn train_distributed_supervised(
+    corpus: &Corpus,
+    num_machines: usize,
+    config: &TrainerConfig,
+    faults: Option<&FaultInjector>,
+) -> Result<(Embeddings, TrainStats), RecoveryExhausted> {
+    train_distributed_inner(corpus, num_machines, config, faults)
+}
+
+fn train_distributed_inner(
+    corpus: &Corpus,
+    num_machines: usize,
+    config: &TrainerConfig,
+    faults: Option<&FaultInjector>,
+) -> Result<(Embeddings, TrainStats), RecoveryExhausted> {
     assert!(num_machines > 0, "need at least one machine");
     let n = corpus.num_nodes();
     if n == 0 || corpus.total_tokens() == 0 {
-        return (Embeddings::zeros(n, config.dim), TrainStats::default());
+        return Ok((Embeddings::zeros(n, config.dim), TrainStats::default()));
     }
 
     let vocab = Vocab::from_corpus(corpus);
@@ -229,6 +279,12 @@ pub fn train_distributed(
         config.learning_rate - (config.learning_rate - config.min_learning_rate) * progress
     };
 
+    // Whether worker panics are caught and handled (retried or surfaced as a
+    // clean error). When neither faults nor a recovery policy are in play,
+    // panics propagate exactly as before.
+    let supervised = faults.is_some() || config.recovery.is_enabled();
+    let mut recovered_chunks = 0u64;
+
     let start = std::time::Instant::now();
     let superstep_sync_secs = match config.execution {
         ExecutionBackend::RoundLoop | ExecutionBackend::Pool => {
@@ -236,42 +292,87 @@ pub fn train_distributed(
             // hold `&replicas[machine]` (Hogwild matrices are
             // interior-mutable); the coordinator synchronizes parameters
             // between chunks while the workers are parked at the barrier.
-            let chunk_results: Vec<std::sync::Mutex<(u64, usize)>> = (0..num_machines)
-                .map(|_| std::sync::Mutex::new((0, 0)))
-                .collect();
-            let pool_stats = run_rounds(
-                num_machines,
-                |chunk| {
-                    if chunk > 0 {
-                        for slot in &chunk_results {
-                            let (pairs, buffer_bytes) = *slot.lock().unwrap();
-                            pairs_processed += pairs;
-                            peak_buffer_bytes = peak_buffer_bytes.max(buffer_bytes);
-                        }
-                        // Synchronize parameters across machines.
-                        let ranks = select_sync_ranks(config.sync, &vocab, &mut sync_rng);
-                        synchronize_replicas(&replicas, &ranks, &mut sync_comm);
+            //
+            // Recovery: the live replicas plus `completed_chunks` are the
+            // checkpoint. A crashed attempt loses only the chunk that died —
+            // every earlier chunk was harvested and synchronized at its
+            // boundary — so the retry rebuilds the pool and resumes at
+            // `base_chunk = completed_chunks`. Workers train absolute chunk
+            // `base_chunk + generation`, which keeps the learning-rate
+            // schedule and fault coordinates stable across attempts.
+            let mut sync_secs = 0.0f64;
+            let mut completed_chunks = 0usize;
+            let mut attempt = 0u32;
+            loop {
+                let base_chunk = completed_chunks;
+                // Fresh result slots per attempt: a crashed attempt's
+                // partially written slots are never harvested.
+                let chunk_results: Vec<std::sync::Mutex<(u64, usize)>> = (0..num_machines)
+                    .map(|_| std::sync::Mutex::new((0, 0)))
+                    .collect();
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    run_rounds(
+                        num_machines,
+                        |generation| {
+                            if generation > 0 {
+                                for slot in &chunk_results {
+                                    let (pairs, buffer_bytes) = *slot.lock().unwrap();
+                                    pairs_processed += pairs;
+                                    peak_buffer_bytes = peak_buffer_bytes.max(buffer_bytes);
+                                }
+                                // Synchronize parameters across machines.
+                                let ranks = select_sync_ranks(config.sync, &vocab, &mut sync_rng);
+                                synchronize_replicas(&replicas, &ranks, &mut sync_comm);
+                                completed_chunks += 1;
+                            }
+                            completed_chunks < total_chunks
+                        },
+                        |machine, generation| {
+                            let chunk = base_chunk + generation as usize;
+                            if let Some(injector) = faults {
+                                injector.trip(machine, chunk as u64, 0);
+                            }
+                            let slice_idx = chunk % config.sync_rounds_per_epoch.max(1);
+                            let slice = epoch_slice(
+                                &shards[machine],
+                                slice_idx,
+                                config.sync_rounds_per_epoch,
+                            );
+                            let result = train_machine_chunk(
+                                &replicas[machine],
+                                slice,
+                                &table,
+                                &sigmoid,
+                                config,
+                                lr_for(chunk),
+                                machine as u64,
+                            );
+                            *chunk_results[machine].lock().unwrap() = result;
+                        },
+                    )
+                }));
+                match run {
+                    Ok(pool_stats) => {
+                        sync_secs += pool_stats.sync_secs;
+                        break;
                     }
-                    (chunk as usize) < total_chunks
-                },
-                |machine, chunk| {
-                    let chunk = chunk as usize;
-                    let slice_idx = chunk % config.sync_rounds_per_epoch.max(1);
-                    let slice =
-                        epoch_slice(&shards[machine], slice_idx, config.sync_rounds_per_epoch);
-                    let result = train_machine_chunk(
-                        &replicas[machine],
-                        slice,
-                        &table,
-                        &sigmoid,
-                        config,
-                        lr_for(chunk),
-                        machine as u64,
-                    );
-                    *chunk_results[machine].lock().unwrap() = result;
-                },
-            );
-            pool_stats.sync_secs
+                    Err(payload) => {
+                        if !supervised {
+                            resume_unwind(payload);
+                        }
+                        attempt += 1;
+                        recovered_chunks += 1;
+                        if attempt > config.recovery.max_retries {
+                            return Err(RecoveryExhausted {
+                                attempts: attempt,
+                                last_panic: panic_message(payload.as_ref()),
+                            });
+                        }
+                        std::thread::sleep(config.recovery.backoff_for(attempt));
+                    }
+                }
+            }
+            sync_secs
         }
         ExecutionBackend::SpawnPerStep => {
             let mut sync_secs = 0.0f64;
@@ -280,39 +381,76 @@ pub fn train_distributed(
                 let slice_idx = chunk % config.sync_rounds_per_epoch.max(1);
 
                 // Machines run concurrently on freshly spawned threads, each
-                // training its shard slice.
-                let chunk_started = std::time::Instant::now();
-                let chunk_results: Vec<(u64, usize, f64)> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = replicas
-                        .iter()
-                        .zip(shards.iter())
-                        .enumerate()
-                        .map(|(machine, (replica, shard))| {
-                            let vocab_ref = &table;
-                            let sigmoid_ref = &sigmoid;
-                            scope.spawn(move || {
-                                let compute_started = std::time::Instant::now();
-                                let slice =
-                                    epoch_slice(shard, slice_idx, config.sync_rounds_per_epoch);
-                                let (pairs, buffer_bytes) = train_machine_chunk(
-                                    replica,
-                                    slice,
-                                    vocab_ref,
-                                    sigmoid_ref,
-                                    config,
-                                    lr,
-                                    machine as u64,
-                                );
-                                (pairs, buffer_bytes, compute_started.elapsed().as_secs_f64())
-                            })
+                // training its shard slice. Spawn-per-step recovery is
+                // per-chunk: the chunk that died simply re-runs (the same
+                // at-least-once contract as the pooled path).
+                let mut attempt = 0u32;
+                let (chunk_results, wall): (Vec<(u64, usize, f64)>, f64) = loop {
+                    let chunk_started = std::time::Instant::now();
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        std::thread::scope(|scope| {
+                            let handles: Vec<_> = replicas
+                                .iter()
+                                .zip(shards.iter())
+                                .enumerate()
+                                .map(|(machine, (replica, shard))| {
+                                    let vocab_ref = &table;
+                                    let sigmoid_ref = &sigmoid;
+                                    scope.spawn(move || {
+                                        if let Some(injector) = faults {
+                                            injector.trip(machine, chunk as u64, 0);
+                                        }
+                                        let compute_started = std::time::Instant::now();
+                                        let slice = epoch_slice(
+                                            shard,
+                                            slice_idx,
+                                            config.sync_rounds_per_epoch,
+                                        );
+                                        let (pairs, buffer_bytes) = train_machine_chunk(
+                                            replica,
+                                            slice,
+                                            vocab_ref,
+                                            sigmoid_ref,
+                                            config,
+                                            lr,
+                                            machine as u64,
+                                        );
+                                        (
+                                            pairs,
+                                            buffer_bytes,
+                                            compute_started.elapsed().as_secs_f64(),
+                                        )
+                                    })
+                                })
+                                .collect();
+                            handles
+                                .into_iter()
+                                .map(|h| {
+                                    // Re-raise the worker's own payload so a
+                                    // caught panic keeps its message.
+                                    h.join().unwrap_or_else(|payload| resume_unwind(payload))
+                                })
+                                .collect()
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("training thread panicked"))
-                        .collect()
-                });
-                let wall = chunk_started.elapsed().as_secs_f64();
+                    }));
+                    match run {
+                        Ok(results) => break (results, chunk_started.elapsed().as_secs_f64()),
+                        Err(payload) => {
+                            if !supervised {
+                                resume_unwind(payload);
+                            }
+                            attempt += 1;
+                            recovered_chunks += 1;
+                            if attempt > config.recovery.max_retries {
+                                return Err(RecoveryExhausted {
+                                    attempts: attempt,
+                                    last_panic: panic_message(payload.as_ref()),
+                                });
+                            }
+                            std::thread::sleep(config.recovery.backoff_for(attempt));
+                        }
+                    }
+                };
 
                 let mut slowest = 0.0f64;
                 for (pairs, buffer_bytes, compute_secs) in chunk_results {
@@ -361,8 +499,9 @@ pub fn train_distributed(
         sync_comm,
         superstep_sync_secs,
         avg_machine_memory_bytes,
+        recovered_chunks,
     };
-    (Embeddings::from_node_major(node_major, config.dim), stats)
+    Ok((Embeddings::from_node_major(node_major, config.dim), stats))
 }
 
 /// Convenience wrapper: single-machine training.
@@ -558,6 +697,80 @@ mod tests {
         let corpus = community_corpus();
         let (_, stats) = train(&corpus, &TrainerConfig::small().with_dim(8));
         assert_eq!(stats.sync_comm.messages, 0);
+    }
+
+    #[test]
+    fn pooled_training_recovers_from_an_injected_chunk_fault() {
+        use distger_cluster::FaultPlan;
+        let corpus = community_corpus();
+        let config = TrainerConfig::small()
+            .with_dim(16)
+            .with_recovery_policy(RecoveryPolicy::retries(2));
+        let faults = FaultPlan::default().panic_at(1, 2, 0).build();
+        let (embeddings, stats) = train_distributed_supervised(&corpus, 4, &config, Some(&faults))
+            .expect("recovery within budget");
+        assert_eq!(faults.injected_faults(), 1, "the fault must fire");
+        assert_eq!(stats.recovered_chunks, 1, "one chunk re-executed");
+        // The run still does all its work and learns: every chunk's pairs
+        // are counted exactly once, so the totals match a fault-free run.
+        let (_, clean) = train_distributed(&corpus, 4, &TrainerConfig::small().with_dim(16));
+        assert_eq!(stats.pairs_processed, clean.pairs_processed);
+        assert_eq!(stats.sync_comm, clean.sync_comm);
+        check_community_structure(&embeddings);
+    }
+
+    #[test]
+    fn spawn_per_step_training_recovers_per_chunk() {
+        use distger_cluster::FaultPlan;
+        let corpus = community_corpus();
+        let config = TrainerConfig::small()
+            .with_dim(16)
+            .with_execution(ExecutionBackend::SpawnPerStep)
+            .with_recovery_policy(RecoveryPolicy::retries(1));
+        let faults = FaultPlan::default().panic_at(0, 1, 0).build();
+        let (embeddings, stats) = train_distributed_supervised(&corpus, 4, &config, Some(&faults))
+            .expect("recovery within budget");
+        assert_eq!(faults.injected_faults(), 1);
+        assert_eq!(stats.recovered_chunks, 1);
+        check_community_structure(&embeddings);
+    }
+
+    #[test]
+    fn exhausted_training_recovery_is_a_clean_error() {
+        use distger_cluster::FaultPlan;
+        let corpus = community_corpus();
+        let config = TrainerConfig::small().with_dim(8);
+        // Faults in two distinct chunks; retries(1) allows two attempts, and
+        // absolute chunk coordinates make each attempt die deterministically.
+        let faults = FaultPlan::default()
+            .panic_at(2, 0, 0)
+            .panic_at(3, 1, 0)
+            .build();
+        let err = train_distributed_supervised(
+            &corpus,
+            4,
+            &config.with_recovery_policy(RecoveryPolicy::retries(1)),
+            Some(&faults),
+        )
+        .expect_err("both attempts die");
+        assert_eq!(err.attempts, 2);
+        // The injector names the chunk coordinate "round".
+        assert!(
+            err.last_panic.contains("injected fault: machine 3 round 1"),
+            "last panic was {}",
+            err.last_panic
+        );
+    }
+
+    #[test]
+    fn injected_fault_without_recovery_surfaces_immediately() {
+        use distger_cluster::FaultPlan;
+        let corpus = community_corpus();
+        let config = TrainerConfig::small().with_dim(8);
+        let faults = FaultPlan::default().panic_at(0, 0, 0).build();
+        let err = train_distributed_supervised(&corpus, 2, &config, Some(&faults))
+            .expect_err("no retry budget");
+        assert_eq!(err.attempts, 1);
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! Property-based tests for the embedding learner's supporting structures.
 
+use distger_cluster::ExecutionBackend;
 use distger_embed::negative::NegativeTable;
 use distger_embed::sync::select_sync_ranks;
-use distger_embed::{Embeddings, SyncStrategy, Vocab};
+use distger_embed::{
+    train_distributed, train_distributed_supervised, Embeddings, FaultPlan, RecoveryPolicy,
+    SyncStrategy, TrainerConfig, Vocab,
+};
 use distger_walks::rng::SplitMix64;
+use distger_walks::Corpus;
 use proptest::prelude::*;
 
 proptest! {
@@ -179,5 +184,87 @@ proptest! {
         prop_assert!(Embeddings::load_binary(&path).is_err(),
             "truncation to {keep} bytes loaded successfully");
         std::fs::remove_file(&path).ok();
+    }
+}
+
+/// A two-community corpus small enough for property cases: walks alternate
+/// between nodes {0..4} and {5..9}.
+fn training_corpus() -> Corpus {
+    let mut walks = Vec::new();
+    let mut rng = SplitMix64::new(33);
+    for i in 0..120 {
+        let base: u32 = if i % 2 == 0 { 0 } else { 5 };
+        let walk: Vec<u32> = (0..10).map(|_| base + rng.next_bounded(5) as u32).collect();
+        walks.push(walk);
+    }
+    Corpus::from_walks(walks, 10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Trainer-path fault tolerance: an injected worker panic in any chunk,
+    /// on any machine, under either execution backend, recovers — the live
+    /// replicas plus the completed-chunk counter are the checkpoint — and
+    /// the work accounting stays deterministic: crashed chunks are discarded
+    /// and re-executed exactly once, so pair and sync totals match the
+    /// fault-free run's.
+    #[test]
+    fn injected_trainer_fault_recovers_with_deterministic_accounting(
+        fault_machine in 0usize..4,
+        fault_chunk in 0u64..4, // `small()` runs epochs × sync_rounds = 4 chunks
+        spawn_per_step in any::<bool>(),
+    ) {
+        let corpus = training_corpus();
+        let backend = if spawn_per_step {
+            ExecutionBackend::SpawnPerStep
+        } else {
+            ExecutionBackend::RoundLoop
+        };
+        let config = TrainerConfig::small().with_dim(8).with_execution(backend);
+        let (_, clean) = train_distributed(&corpus, 4, &config);
+
+        let faults = FaultPlan::new().panic_at(fault_machine, fault_chunk, 0).build();
+        let (_, stats) = train_distributed_supervised(
+            &corpus,
+            4,
+            &config.with_recovery_policy(RecoveryPolicy::retries(2)),
+            Some(&faults),
+        )
+        .expect("one injected fault must recover within two retries");
+
+        prop_assert_eq!(faults.injected_faults(), 1, "the fault must fire");
+        prop_assert!(stats.recovered_chunks >= 1);
+        prop_assert_eq!(stats.pairs_processed, clean.pairs_processed);
+        prop_assert_eq!(&stats.sync_comm, &clean.sync_comm);
+    }
+
+    /// With a zero-retry budget the supervised trainer still never
+    /// deadlocks: any injected panic surfaces as a clean `RecoveryExhausted`
+    /// after exactly one attempt, naming the crash coordinates.
+    #[test]
+    fn trainer_fault_without_retries_is_a_clean_error(
+        fault_machine in 0usize..4,
+        fault_chunk in 0u64..4,
+        spawn_per_step in any::<bool>(),
+    ) {
+        let corpus = training_corpus();
+        let backend = if spawn_per_step {
+            ExecutionBackend::SpawnPerStep
+        } else {
+            ExecutionBackend::RoundLoop
+        };
+        let config = TrainerConfig::small().with_dim(8).with_execution(backend);
+        let faults = FaultPlan::new().panic_at(fault_machine, fault_chunk, 0).build();
+        let err = train_distributed_supervised(&corpus, 4, &config, Some(&faults))
+            .expect_err("zero retries cannot absorb a panic");
+        prop_assert_eq!(err.attempts, 1);
+        // The injector names the chunk coordinate "round".
+        prop_assert!(
+            err.last_panic
+                .contains(&format!("injected fault: machine {fault_machine} round {fault_chunk}")),
+            "unexpected last panic: {}",
+            err.last_panic
+        );
     }
 }

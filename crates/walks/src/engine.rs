@@ -19,13 +19,17 @@
 //! [`WalkEngineConfig`]: per-node alias tables (built once per run, `O(1)`
 //! per draw — the default) or the reference `O(deg)` linear scan.
 
+use std::time::Instant;
+
 use distger_cluster::{
-    run_bsp_round_loop, run_bsp_with, CommStats, ExecutionBackend, Mailbox, Outbox,
+    run_bsp_round_loop, run_bsp_supervised, run_bsp_with, CommStats, ExecutionBackend,
+    FaultInjector, Mailbox, Outbox, RecoveryExhausted, RecoveryPolicy,
 };
 use distger_graph::{stats::degree_distribution, CsrGraph, NodeId};
 use distger_partition::Partitioning;
 
 use crate::alias::{NeighborSampler, SamplingBackend, TransitionTables};
+use crate::checkpoint::{CheckpointEncoder, CheckpointPolicy, WalkCheckpoint};
 use crate::corpus::Corpus;
 use crate::freq::{FreqBackend, FreqStore};
 use crate::info::{relative_entropy, FullPathInfo, IncrementalInfo, WalkCountController};
@@ -73,6 +77,15 @@ pub struct WalkEngineConfig {
     /// equivalence tests and benchmarks. All three produce bit-identical
     /// corpora, message traces and entropy traces.
     pub execution: ExecutionBackend,
+    /// When the supervised round loop snapshots its coordinator state
+    /// (cumulative corpus, entropy trace, comm totals) so a crashed run can
+    /// resume from the latest completed round instead of round 0. Disabled
+    /// by default; requires [`ExecutionBackend::RoundLoop`].
+    pub checkpoint: CheckpointPolicy,
+    /// How many times a crashed run is retried (restoring the latest
+    /// checkpoint) before the failure propagates. Disabled by default;
+    /// requires [`ExecutionBackend::RoundLoop`].
+    pub recovery: RecoveryPolicy,
     /// Seed for all stochastic choices.
     pub seed: u64,
     /// Safety cap on BSP supersteps per round.
@@ -91,6 +104,8 @@ impl WalkEngineConfig {
             freq_backend: FreqBackend::Flat,
             sampling_backend: SamplingBackend::Alias,
             execution: ExecutionBackend::RoundLoop,
+            checkpoint: CheckpointPolicy::Disabled,
+            recovery: RecoveryPolicy::default(),
             seed: 0,
             max_supersteps: 1_000_000,
         }
@@ -107,6 +122,8 @@ impl WalkEngineConfig {
             freq_backend: FreqBackend::Flat,
             sampling_backend: SamplingBackend::Alias,
             execution: ExecutionBackend::RoundLoop,
+            checkpoint: CheckpointPolicy::Disabled,
+            recovery: RecoveryPolicy::default(),
             seed: 0,
             max_supersteps: 1_000_000,
         }
@@ -150,6 +167,18 @@ impl WalkEngineConfig {
     /// Builder-style superstep-execution backend override.
     pub fn with_execution(mut self, execution: ExecutionBackend) -> Self {
         self.execution = execution;
+        self
+    }
+
+    /// Builder-style checkpoint-policy override.
+    pub fn with_checkpoint_policy(mut self, checkpoint: CheckpointPolicy) -> Self {
+        self.checkpoint = checkpoint;
+        self
+    }
+
+    /// Builder-style recovery-policy override.
+    pub fn with_recovery_policy(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -213,6 +242,18 @@ pub struct WalkResult {
     /// walker state, the resident corpus shard, plus this machine's share of
     /// the alias tables.
     pub avg_machine_memory_bytes: usize,
+    /// Rounds re-executed by supervised recovery: for each crash, the rounds
+    /// completed since the restored checkpoint plus the partial round that
+    /// died. 0 on a fault-free run (and always under the per-round backends,
+    /// which do not support recovery).
+    pub recovered_rounds: u64,
+    /// Wall-clock seconds spent encoding round-boundary checkpoints
+    /// (coordinator-exclusive, so this is exactly the overhead the
+    /// checkpoint policy adds to the run's critical path).
+    pub checkpoint_secs: f64,
+    /// Total encoded checkpoint bytes produced over the run (each snapshot
+    /// covers the cumulative corpus, so later snapshots are larger).
+    pub checkpoint_bytes: u64,
 }
 
 impl WalkResult {
@@ -343,6 +384,21 @@ impl RoundSchedule {
             (None, None) => unreachable!("one of the policies is always set"),
         }
     }
+
+    /// Rebuilds the schedule's convergence state from a checkpointed entropy
+    /// trace: [`WalkCountController`] is a pure fold over the per-round
+    /// `D_r(p‖q)` values, so replaying the trace restores it exactly. Every
+    /// replayed value continued the run when it was recorded (a checkpoint is
+    /// only taken after `continue_after` returns `true`), so the replay never
+    /// hits the stop condition early. Fixed-round schedules carry no state —
+    /// `continue_after` reads the completed-round count directly.
+    fn replay(&mut self, trace: &[f64]) {
+        if let Some(ctrl) = &mut self.controller {
+            for &d in trace {
+                ctrl.record_round(d);
+            }
+        }
+    }
 }
 
 /// What a backend-specific driver hands back to the shared
@@ -355,17 +411,64 @@ struct EngineRun {
     peak_round_memory: usize,
     sync_secs: f64,
     spawn_count: u64,
+    recovered_rounds: u64,
+    checkpoint_secs: f64,
+    checkpoint_bytes: u64,
 }
 
 /// Runs distributed random walks over `graph` partitioned by `partitioning`.
 ///
+/// When the config enables checkpointing or recovery (and the execution
+/// backend is [`ExecutionBackend::RoundLoop`]), the run goes through the
+/// supervised driver; a run whose recovery budget is exhausted panics with
+/// the last worker panic's message. Use
+/// [`run_distributed_walks_supervised`] to handle that case as an error —
+/// and to inject deterministic faults for testing.
+///
 /// # Panics
-/// Panics if the partitioning does not cover the graph.
+/// Panics if the partitioning does not cover the graph, or if checkpointing
+/// or recovery is enabled on a per-round backend (they need the run-scoped
+/// round loop's coordinator to own cumulative state across rounds).
 pub fn run_distributed_walks(
     graph: &CsrGraph,
     partitioning: &Partitioning,
     config: &WalkEngineConfig,
 ) -> WalkResult {
+    match run_walks_inner(graph, partitioning, config, None) {
+        Ok(result) => result,
+        Err(err) => panic!("supervised walk run failed permanently: {err}"),
+    }
+}
+
+/// [`run_distributed_walks`] with explicit fault handling: runs the
+/// supervised round loop (restoring the latest checkpoint and retrying under
+/// `config.recovery` when a worker panics), optionally injecting the faults
+/// of a [`FaultInjector`], and returns a clean error instead of panicking
+/// when the retry budget is exhausted.
+///
+/// # Panics
+/// Panics if the partitioning does not cover the graph or if
+/// `config.execution` is not [`ExecutionBackend::RoundLoop`].
+pub fn run_distributed_walks_supervised(
+    graph: &CsrGraph,
+    partitioning: &Partitioning,
+    config: &WalkEngineConfig,
+    faults: Option<&FaultInjector>,
+) -> Result<WalkResult, RecoveryExhausted> {
+    assert_eq!(
+        config.execution,
+        ExecutionBackend::RoundLoop,
+        "supervised walks require ExecutionBackend::RoundLoop"
+    );
+    run_walks_inner(graph, partitioning, config, faults)
+}
+
+fn run_walks_inner(
+    graph: &CsrGraph,
+    partitioning: &Partitioning,
+    config: &WalkEngineConfig,
+    faults: Option<&FaultInjector>,
+) -> Result<WalkResult, RecoveryExhausted> {
     assert_eq!(
         partitioning.num_nodes(),
         graph.num_nodes(),
@@ -385,11 +488,26 @@ pub fn run_distributed_walks(
     };
     let schedule = RoundSchedule::new(config.walks_per_node);
 
+    let supervised =
+        config.checkpoint.is_enabled() || config.recovery.is_enabled() || faults.is_some();
     let run = match config.execution {
+        ExecutionBackend::RoundLoop if supervised => run_round_loop_supervised(
+            graph,
+            partitioning,
+            config,
+            sampler,
+            schedule,
+            &degree_dist,
+            faults,
+        )?,
         ExecutionBackend::RoundLoop => {
             run_round_loop(graph, partitioning, config, sampler, schedule, &degree_dist)
         }
         ExecutionBackend::Pool | ExecutionBackend::SpawnPerStep => {
+            assert!(
+                !supervised,
+                "checkpointing and recovery require ExecutionBackend::RoundLoop"
+            );
             run_per_round(graph, partitioning, config, sampler, schedule, &degree_dist)
         }
     };
@@ -409,7 +527,7 @@ pub fn run_distributed_walks(
         .map_or((0.0, 0), |t| (t.build_secs(), t.memory_bytes()));
     let alias_shard_bytes = alias_table_bytes / num_machines.max(1);
 
-    WalkResult {
+    Ok(WalkResult {
         corpus: run.corpus,
         comm: run.comm,
         rounds: run.rounds,
@@ -421,7 +539,10 @@ pub fn run_distributed_walks(
         superstep_sync_secs: run.sync_secs,
         pool_spawn_count: run.spawn_count,
         avg_machine_memory_bytes: walker_peak_bytes + corpus_shard_bytes + alias_shard_bytes,
-    }
+        recovered_rounds: run.recovered_rounds,
+        checkpoint_secs: run.checkpoint_secs,
+        checkpoint_bytes: run.checkpoint_bytes,
+    })
 }
 
 /// The run-scoped driver ([`ExecutionBackend::RoundLoop`], the default): the
@@ -491,7 +612,198 @@ fn run_round_loop(
         peak_round_memory,
         sync_secs: outcome.sync_secs,
         spawn_count: outcome.spawn_count,
+        recovered_rounds: 0,
+        checkpoint_secs: 0.0,
+        checkpoint_bytes: 0,
     }
+}
+
+/// Coordinator-visible state the supervised driver owns across attempts. A
+/// walk-engine round boundary is a quiescent point: every in-flight walker
+/// either finished (harvested into `corpus`) or has not been seeded yet, and
+/// next-round seeding is a pure function of `(graph, config, round)` — so
+/// this struct (plus the machine-state allocations, which are rebuilt fresh)
+/// is the *entire* recovery surface.
+struct SupervisedCtx {
+    corpus: Corpus,
+    trace: Vec<f64>,
+    rounds: usize,
+    peak_round_memory: usize,
+    /// Comm totals of rounds completed by *previous* attempts (restored from
+    /// the checkpoint). The round loop reports per-attempt comm; stitching
+    /// happens here and at the end of the run via [`CommStats::merge`].
+    base_comm: CommStats,
+    started: bool,
+    schedule: RoundSchedule,
+    /// Incremental snapshot encoder: caches the append-only walk section's
+    /// wire bytes and checksum state across snapshots, so an every-round
+    /// policy pays O(new walks) per snapshot instead of re-encoding the
+    /// whole corpus. Snapshots are kept encoded (not as a live
+    /// [`WalkCheckpoint`]) so recovery exercises the same decode path a
+    /// process restart would, checksum included.
+    encoder: CheckpointEncoder,
+    recovered_rounds: u64,
+    checkpoint_secs: f64,
+    checkpoint_bytes: u64,
+}
+
+/// The fault-tolerant variant of [`run_round_loop`]: the same round loop run
+/// under [`run_bsp_supervised`], snapshotting coordinator state at round
+/// boundaries per `config.checkpoint` and, when a worker panics, restoring
+/// the latest snapshot and retrying under `config.recovery`.
+///
+/// Determinism: walk ids (and thus walker RNG streams) depend only on
+/// `(round, source)`, and the restore path replays the entropy trace through
+/// a fresh [`RoundSchedule`], so a recovered run re-derives exactly the
+/// per-round corpora a fault-free run produces — bit-identical corpus, comm
+/// totals and entropy trace. The only quantity that is *not* exact is the
+/// peak-memory watermark: machine states restart at zero on retry, so if
+/// machines peaked in a round before the checkpoint the recovered watermark
+/// can be lower (never higher) than the fault-free one.
+fn run_round_loop_supervised(
+    graph: &CsrGraph,
+    partitioning: &Partitioning,
+    config: &WalkEngineConfig,
+    sampler: NeighborSampler<'_>,
+    schedule: RoundSchedule,
+    degree_dist: &[f64],
+    faults: Option<&FaultInjector>,
+) -> Result<EngineRun, RecoveryExhausted> {
+    let n = graph.num_nodes();
+    let num_machines = partitioning.num_machines();
+    let mut ctx = SupervisedCtx {
+        corpus: Corpus::new(n),
+        trace: Vec::new(),
+        rounds: 0,
+        peak_round_memory: 0,
+        base_comm: CommStats::new(),
+        started: false,
+        schedule,
+        encoder: CheckpointEncoder::new(n as u64),
+        recovered_rounds: 0,
+        checkpoint_secs: 0.0,
+        checkpoint_bytes: 0,
+    };
+    let mut spawn_count = 0u64;
+    let outcome = run_bsp_supervised(
+        config.recovery,
+        &mut ctx,
+        |ctx, attempt| {
+            if attempt > 0 {
+                // Roll back to the latest checkpoint — or to the initial
+                // state if no snapshot was taken before the crash.
+                let crashed_at = ctx.rounds as u64;
+                match ctx
+                    .encoder
+                    .assemble_latest()
+                    .as_deref()
+                    .map(WalkCheckpoint::decode)
+                {
+                    Some(Ok(ckpt)) => {
+                        ctx.recovered_rounds += crashed_at - ckpt.rounds + 1;
+                        ctx.corpus = ckpt.corpus;
+                        ctx.trace = ckpt.trace;
+                        ctx.rounds = ckpt.rounds as usize;
+                        ctx.peak_round_memory = ckpt.peak_round_memory as usize;
+                        ctx.base_comm = ckpt.comm;
+                        // The encoder's walk cache stays valid: it is only
+                        // updated at snapshot time, so it covers exactly the
+                        // walks of the snapshot just restored.
+                        debug_assert_eq!(ctx.encoder.encoded_walks(), ctx.corpus.num_walks());
+                    }
+                    Some(Err(err)) => {
+                        // The snapshot lives in memory and was produced by
+                        // the encoder; a decode failure here is a bug, not
+                        // an I/O hazard.
+                        unreachable!("in-memory checkpoint failed to decode: {err}")
+                    }
+                    None => {
+                        ctx.recovered_rounds += crashed_at + 1;
+                        ctx.corpus = Corpus::new(n);
+                        ctx.trace = Vec::new();
+                        ctx.rounds = 0;
+                        ctx.peak_round_memory = 0;
+                        ctx.base_comm = CommStats::new();
+                        ctx.encoder.reset();
+                    }
+                }
+                // `started = false` makes the new attempt's first boundary
+                // seed round `ctx.rounds` instead of harvesting the fresh
+                // (empty) machine states as a completed round.
+                ctx.started = false;
+                ctx.schedule = RoundSchedule::new(config.walks_per_node);
+                let trace = std::mem::take(&mut ctx.trace);
+                ctx.schedule.replay(&trace);
+                ctx.trace = trace;
+            }
+            spawn_count += num_machines as u64;
+            (0..num_machines)
+                .map(|_| MachineState::new(config.freq_backend))
+                .collect()
+        },
+        config.max_supersteps,
+        walker_step(graph, partitioning, config, sampler),
+        |ctx, states, comm_so_far| {
+            if ctx.started {
+                let refs: Vec<&MachineState> = states.iter().map(|state| &**state).collect();
+                let (round_corpus, peak_memory_sum) =
+                    assemble_round_corpus(&refs, n, ctx.rounds as u64);
+                ctx.peak_round_memory = ctx.peak_round_memory.max(peak_memory_sum);
+                ctx.corpus.extend(round_corpus);
+                for state in states.iter_mut() {
+                    state.reset_round();
+                }
+                ctx.rounds += 1;
+                if !ctx.schedule.continue_after(
+                    ctx.rounds,
+                    &ctx.corpus,
+                    degree_dist,
+                    &mut ctx.trace,
+                ) {
+                    return None;
+                }
+                if config.checkpoint.due(ctx.rounds as u64) {
+                    let timer = Instant::now();
+                    let mut comm = ctx.base_comm.clone();
+                    comm.merge(comm_so_far);
+                    let encoded = ctx.encoder.snapshot(
+                        config.seed,
+                        ctx.rounds as u64,
+                        &comm,
+                        ctx.peak_round_memory as u64,
+                        &ctx.trace,
+                        ctx.corpus.walks(),
+                    );
+                    ctx.checkpoint_secs += timer.elapsed().as_secs_f64();
+                    ctx.checkpoint_bytes += encoded as u64;
+                }
+            }
+            ctx.started = true;
+            Some(seed_round_inboxes(
+                graph,
+                partitioning,
+                config,
+                ctx.rounds as u64,
+            ))
+        },
+        faults,
+    )?;
+    let mut comm = ctx.base_comm;
+    comm.merge(&outcome.comm);
+    Ok(EngineRun {
+        corpus: ctx.corpus,
+        comm,
+        rounds: ctx.rounds,
+        trace: ctx.trace,
+        peak_round_memory: ctx.peak_round_memory,
+        // Sync overhead of the attempt that completed; crashed attempts'
+        // timings unwound with their panics.
+        sync_secs: outcome.sync_secs,
+        spawn_count,
+        recovered_rounds: ctx.recovered_rounds,
+        checkpoint_secs: ctx.checkpoint_secs,
+        checkpoint_bytes: ctx.checkpoint_bytes,
+    })
 }
 
 /// The per-round drivers ([`ExecutionBackend::Pool`] /
@@ -518,6 +830,9 @@ fn run_per_round(
         peak_round_memory: 0,
         sync_secs: 0.0,
         spawn_count: 0,
+        recovered_rounds: 0,
+        checkpoint_secs: 0.0,
+        checkpoint_bytes: 0,
     };
     loop {
         let round = run.rounds as u64;
@@ -750,6 +1065,7 @@ fn process_walker(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use distger_cluster::FaultPlan;
     use distger_partition::{balanced::workload_balanced_partition, mpgp_partition, MpgpConfig};
 
     fn test_graph() -> CsrGraph {
@@ -1000,5 +1316,116 @@ mod tests {
             .iter()
             .position(|&v| v == 3)
             .is_none_or(|i| i == w.len() - 1)));
+    }
+
+    #[test]
+    fn supervised_fault_free_run_matches_plain_round_loop() {
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 4);
+        let plain_cfg = WalkEngineConfig::distger().with_seed(31);
+        let plain = run_distributed_walks(&g, &p, &plain_cfg);
+        let supervised_cfg = plain_cfg
+            .with_checkpoint_policy(CheckpointPolicy::every(1))
+            .with_recovery_policy(RecoveryPolicy::retries(2));
+        let supervised = run_distributed_walks(&g, &p, &supervised_cfg);
+        assert_eq!(supervised.corpus, plain.corpus);
+        assert_eq!(supervised.comm, plain.comm);
+        assert_eq!(supervised.rounds, plain.rounds);
+        assert_eq!(
+            supervised.relative_entropy_trace,
+            plain.relative_entropy_trace
+        );
+        assert_eq!(supervised.walker_peak_bytes, plain.walker_peak_bytes);
+        assert_eq!(supervised.recovered_rounds, 0);
+        // One snapshot per continued round: rounds − 1 (no snapshot after
+        // the final round — the run ends instead).
+        assert!(supervised.checkpoint_bytes > 0);
+        assert!(supervised.checkpoint_secs >= 0.0);
+        assert_eq!(plain.checkpoint_bytes, 0, "disabled policy encodes nothing");
+    }
+
+    #[test]
+    fn injected_fault_recovers_bit_identical_to_fault_free() {
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 4);
+        let cfg = WalkEngineConfig::distger().with_seed(47);
+        let fault_free = run_distributed_walks(&g, &p, &cfg);
+        assert!(fault_free.rounds >= 3, "need rounds to inject into");
+
+        let supervised_cfg = cfg
+            .with_checkpoint_policy(CheckpointPolicy::every(1))
+            .with_recovery_policy(RecoveryPolicy::retries(2));
+        let faults = FaultPlan::default().panic_at(2, 2, 0).build();
+        let recovered = run_distributed_walks_supervised(&g, &p, &supervised_cfg, Some(&faults))
+            .expect("recovery within budget");
+        assert_eq!(faults.injected_faults(), 1, "the fault must actually fire");
+        assert_eq!(recovered.corpus, fault_free.corpus);
+        assert_eq!(recovered.comm, fault_free.comm);
+        assert_eq!(recovered.rounds, fault_free.rounds);
+        assert_eq!(
+            recovered.relative_entropy_trace,
+            fault_free.relative_entropy_trace
+        );
+        // Crash in round 2 with a round-2 checkpoint: exactly the partial
+        // round is re-executed.
+        assert_eq!(recovered.recovered_rounds, 1);
+        // Two attempts → two pool spawns of 4 machines each.
+        assert_eq!(recovered.pool_spawn_count, 8);
+    }
+
+    #[test]
+    fn recovery_without_checkpoints_replays_from_round_zero() {
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 4);
+        let cfg = WalkEngineConfig::distger().with_seed(47);
+        let fault_free = run_distributed_walks(&g, &p, &cfg);
+        let supervised_cfg = cfg.with_recovery_policy(RecoveryPolicy::retries(1));
+        let faults = FaultPlan::default().panic_at(1, 2, 0).build();
+        let recovered = run_distributed_walks_supervised(&g, &p, &supervised_cfg, Some(&faults))
+            .expect("recovery within budget");
+        assert_eq!(recovered.corpus, fault_free.corpus);
+        assert_eq!(recovered.comm, fault_free.comm);
+        // Rounds 0 and 1 completed, round 2 died: all three replay.
+        assert_eq!(recovered.recovered_rounds, 3);
+        assert_eq!(recovered.checkpoint_bytes, 0);
+    }
+
+    #[test]
+    fn exhausted_recovery_surfaces_a_clean_error() {
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 4);
+        let cfg = WalkEngineConfig::distger()
+            .with_seed(47)
+            .with_checkpoint_policy(CheckpointPolicy::every(1));
+        // Faults in distinct rounds so each retry deterministically dies
+        // again; retries(1) allows two attempts total.
+        let faults = FaultPlan::default()
+            .panic_at(0, 1, 0)
+            .panic_at(1, 2, 0)
+            .build();
+        let err = run_distributed_walks_supervised(
+            &g,
+            &p,
+            &cfg.with_recovery_policy(RecoveryPolicy::retries(1)),
+            Some(&faults),
+        )
+        .expect_err("both attempts die");
+        assert_eq!(err.attempts, 2);
+        assert!(
+            err.last_panic.contains("injected fault: machine 1 round"),
+            "last panic was {}",
+            err.last_panic
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "require ExecutionBackend::RoundLoop")]
+    fn per_round_backends_reject_checkpointing() {
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 2);
+        let cfg = WalkEngineConfig::distger()
+            .with_execution(ExecutionBackend::Pool)
+            .with_checkpoint_policy(CheckpointPolicy::every(1));
+        run_distributed_walks(&g, &p, &cfg);
     }
 }

@@ -437,6 +437,47 @@ mod tests {
     }
 
     #[test]
+    fn round_reset_drops_departed_walks_and_reuses_allocations() {
+        // The round-boundary contract (see `FlatFreqStore::clear`): walks
+        // that hop to another machine and terminate there never `release`
+        // their local list — only `clear` reclaims it. Simulate several
+        // rounds of that on both backends through the dispatcher.
+        for backend in [FreqBackend::Flat, FreqBackend::NestedReference] {
+            let mut store = FreqStore::new(backend);
+            let mut peak = 0usize;
+            for round in 0..5u64 {
+                for walk in 0..300u64 {
+                    let id = round * 300 + walk;
+                    store.accept(id, (walk % 11) as NodeId);
+                    store.accept(id, (walk % 11) as NodeId);
+                    if walk % 3 == 0 {
+                        // Terminated locally: releases its list.
+                        store.release(id);
+                    }
+                    // walk % 3 != 0: departed mid-walk, no release — the
+                    // round reset must reclaim these.
+                }
+                assert_eq!(store.active_walks(), 200, "round {round}");
+                store.clear();
+                assert_eq!(store.active_walks(), 0, "round {round} leaked walks");
+                if round == 0 {
+                    peak = store.memory_bytes();
+                } else {
+                    assert!(
+                        store.memory_bytes() <= peak,
+                        "round {round}: resident bytes grew across identical \
+                         fill/clear cycles ({} > {peak}) — allocations are \
+                         not being recycled",
+                        store.memory_bytes()
+                    );
+                }
+            }
+            // Counts restart from zero after a reset.
+            assert_eq!(store.accept(0, 5), 0);
+        }
+    }
+
+    #[test]
     fn memory_accounting_is_positive_and_bounded() {
         let mut s = FlatFreqStore::new();
         for walk in 0..64u64 {

@@ -38,6 +38,7 @@
 //! [`Corpus`].
 
 pub mod alias;
+pub mod checkpoint;
 pub mod corpus;
 pub mod engine;
 pub mod freq;
@@ -47,12 +48,17 @@ pub mod models;
 pub mod rng;
 
 pub use alias::{NeighborSampler, SamplingBackend, TransitionTables};
+pub use checkpoint::{CheckpointPolicy, WalkCheckpoint};
 pub use corpus::{Corpus, CorpusShard};
-pub use engine::{run_distributed_walks, InfoMode, WalkEngineConfig, WalkResult};
+pub use engine::{
+    run_distributed_walks, run_distributed_walks_supervised, InfoMode, WalkEngineConfig, WalkResult,
+};
 pub use freq::{FlatFreqStore, FreqBackend, NestedFreqStore};
 pub use models::{LengthPolicy, WalkCountPolicy, WalkModel};
 
-/// Re-export of the BSP superstep execution knob so walk-engine callers can
-/// configure [`WalkEngineConfig::execution`] without depending on
+/// Re-exports of the BSP execution / fault-tolerance knobs so walk-engine
+/// callers can configure [`WalkEngineConfig`] without depending on
 /// `distger-cluster` directly.
-pub use distger_cluster::ExecutionBackend;
+pub use distger_cluster::{
+    ExecutionBackend, FaultInjector, FaultPlan, RecoveryExhausted, RecoveryPolicy,
+};
