@@ -5,9 +5,11 @@
 //! complexity while they actually stay fast — and random-walk embedding
 //! pipelines are dominated by sampling throughput, so a silent regression
 //! there is the costliest kind. The gate turns `BENCH_walks.json` from a
-//! passive artifact into an enforced contract: every `*_speedup` report row
-//! is compared against a floor committed in `crates/bench/baselines.json`,
-//! and CI fails when a measured speedup drops below `floor × (1 − tolerance)`.
+//! passive artifact into an enforced contract: every row of every report
+//! whose id ends in a [`GATED_SUFFIXES`] suffix (`_speedup` ratios, `_qps`
+//! absolute throughput, `_slo` latency headroom) is compared against a floor
+//! committed in `crates/bench/baselines.json`, and CI fails when a measured
+//! value drops below `floor × (1 − tolerance)`.
 //!
 //! The tolerance absorbs runner-to-runner noise (shared CI machines easily
 //! wobble ±10%); the floors themselves are deliberately set well below the
@@ -72,9 +74,16 @@ impl Baselines {
     }
 }
 
-/// Extracts every speedup measurement from a `BENCH_walks.json` document:
-/// each row of each report whose `id` ends in `_speedup`, keyed as
-/// `"<report_id>/<row_label>"` with the row's first value.
+/// Report-id suffixes the gate enforces: `_speedup` (ratio contracts),
+/// `_qps` (absolute-throughput contracts — the serving front door's
+/// concurrent QPS) and `_slo` (latency-headroom contracts — e.g. p99 under
+/// the serving SLO, expressed as `slo / p99` so "bigger is better" holds
+/// for every gated number).
+pub const GATED_SUFFIXES: [&str; 3] = ["_speedup", "_qps", "_slo"];
+
+/// Extracts every gated measurement from a `BENCH_walks.json` document:
+/// each row of each report whose `id` ends in one of [`GATED_SUFFIXES`],
+/// keyed as `"<report_id>/<row_label>"` with the row's first value.
 pub fn collect_speedups(bench: &Value) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     let Some(reports) = bench["reports"].as_array() else {
@@ -84,7 +93,7 @@ pub fn collect_speedups(bench: &Value) -> Vec<(String, f64)> {
         let Some(id) = report["id"].as_str() else {
             continue;
         };
-        if !id.ends_with("_speedup") {
+        if !GATED_SUFFIXES.iter().any(|suffix| id.ends_with(suffix)) {
             continue;
         }
         let Some(rows) = report["rows"].as_array() else {
@@ -187,7 +196,13 @@ mod tests {
                   "rows": [ {"label": "flat_over_nested", "values": [1.9]} ] },
                 { "id": "transition_sampling_speedup",
                   "rows": [ {"label": "unweighted_ba", "values": [1.0]},
-                            {"label": "skewed_ba", "values": [3.5]} ] }
+                            {"label": "skewed_ba", "values": [3.5]} ] },
+                { "id": "serve_latency",
+                  "rows": [ {"label": "callers_32", "values": [1.2]} ] },
+                { "id": "serve_concurrent_qps",
+                  "rows": [ {"label": "callers_32", "values": [12000.0]} ] },
+                { "id": "serve_latency_slo",
+                  "rows": [ {"label": "p99_under_50ms_slo", "values": [40.0]} ] }
               ]
             }"#,
         )
@@ -200,7 +215,9 @@ mod tests {
               "tolerance": 0.2,
               "floors": [
                 { "key": "freq_store_speedup/flat_over_nested", "min_speedup": 1.5 },
-                { "key": "transition_sampling_speedup/skewed_ba", "min_speedup": 2.0 }
+                { "key": "transition_sampling_speedup/skewed_ba", "min_speedup": 2.0 },
+                { "key": "serve_concurrent_qps/callers_32", "min_speedup": 1000.0 },
+                { "key": "serve_latency_slo/p99_under_50ms_slo", "min_speedup": 1.2 }
               ]
             }"#,
         )
@@ -208,7 +225,10 @@ mod tests {
     }
 
     #[test]
-    fn collects_only_speedup_reports() {
+    fn collects_only_gated_suffixes() {
+        // `freq_store` (plain measurements) and `serve_latency`
+        // (informational distribution) are skipped; `_speedup`, `_qps` and
+        // `_slo` reports are all collected.
         let speedups = collect_speedups(&bench_doc());
         assert_eq!(
             speedups,
@@ -216,6 +236,8 @@ mod tests {
                 ("freq_store_speedup/flat_over_nested".to_string(), 1.9),
                 ("transition_sampling_speedup/unweighted_ba".to_string(), 1.0),
                 ("transition_sampling_speedup/skewed_ba".to_string(), 3.5),
+                ("serve_concurrent_qps/callers_32".to_string(), 12000.0),
+                ("serve_latency_slo/p99_under_50ms_slo".to_string(), 40.0),
             ]
         );
     }
@@ -224,30 +246,27 @@ mod tests {
     fn passing_floors_pass() {
         let baselines = Baselines::from_json(&baselines_doc()).unwrap();
         let checks = evaluate(&baselines, &collect_speedups(&bench_doc()));
-        assert_eq!(checks.len(), 2);
+        assert_eq!(checks.len(), 4);
         assert!(checks.iter().all(GateCheck::passed), "{checks:?}");
     }
 
     #[test]
     fn tolerance_absorbs_noise_but_not_regressions() {
         let baselines = Baselines::from_json(&baselines_doc()).unwrap();
+        let rest = [
+            ("transition_sampling_speedup/skewed_ba".to_string(), 2.0),
+            ("serve_concurrent_qps/callers_32".to_string(), 12000.0),
+            ("serve_latency_slo/p99_under_50ms_slo".to_string(), 40.0),
+        ];
         // 1.25 is below the 1.5 floor but above 1.5 × 0.8 = 1.2: noise, pass.
-        let checks = evaluate(
-            &baselines,
-            &[
-                ("freq_store_speedup/flat_over_nested".to_string(), 1.25),
-                ("transition_sampling_speedup/skewed_ba".to_string(), 2.0),
-            ],
-        );
+        let mut measured = rest.to_vec();
+        measured.push(("freq_store_speedup/flat_over_nested".to_string(), 1.25));
+        let checks = evaluate(&baselines, &measured);
         assert!(checks.iter().all(GateCheck::passed));
         // 1.19 is below the effective floor: regression, fail.
-        let checks = evaluate(
-            &baselines,
-            &[
-                ("freq_store_speedup/flat_over_nested".to_string(), 1.19),
-                ("transition_sampling_speedup/skewed_ba".to_string(), 2.0),
-            ],
-        );
+        let mut measured = rest.to_vec();
+        measured.insert(0, ("freq_store_speedup/flat_over_nested".to_string(), 1.19));
+        let checks = evaluate(&baselines, &measured);
         assert!(!checks[0].passed());
         assert!(checks[1].passed());
         assert!(checks[0].render().starts_with("FAIL"));

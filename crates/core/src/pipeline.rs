@@ -13,7 +13,7 @@ use distger_partition::{
     ldg::ldg_default,
     mpgp_partition, parallel_mpgp_partition, MpgpConfig, Partitioning,
 };
-use distger_serve::{EmbeddingIndex, QueryEngine, ServeConfig};
+use distger_serve::{EmbeddingIndex, QueryEngine, Scheduler, SchedulerConfig, ServeConfig};
 use distger_walks::{
     run_distributed_walks, CheckpointPolicy, SamplingBackend, WalkEngineConfig, WalkModel,
 };
@@ -270,6 +270,15 @@ impl PipelineResult {
     pub fn query_engine(&self, config: ServeConfig) -> QueryEngine {
         QueryEngine::new(EmbeddingIndex::build(&self.embeddings), config)
     }
+
+    /// Builds the full serving front door over the learned embeddings: the
+    /// [`QueryEngine`] of [`query_engine`](Self::query_engine) behind a
+    /// dynamic-batching [`Scheduler`] — independent callers then submit
+    /// single queries through [`Scheduler::client`] handles instead of
+    /// assembling batches themselves.
+    pub fn request_scheduler(&self, serve: ServeConfig, scheduler: SchedulerConfig) -> Scheduler {
+        Scheduler::new(self.query_engine(serve), scheduler)
+    }
 }
 
 /// Runs the full pipeline on `graph` under `config`.
@@ -467,6 +476,31 @@ mod tests {
             }
             assert!(out.stats.wall_secs > 0.0);
         }
+    }
+
+    #[test]
+    fn trained_run_serves_through_the_request_scheduler() {
+        use distger_serve::SchedulerConfig;
+        let g = distger_graph::community_powerlaw(300, 6, 4, 0.1, 17);
+        let config = DistGerConfig::distger(2).small().with_seed(4);
+        let result = run_pipeline(&g, &config);
+        let serve = ServeConfig {
+            k: 5,
+            threads: 2,
+            ..ServeConfig::default()
+        };
+        // The scheduler is transparent: its answer for a node's own
+        // embedding must be bit-identical to the direct engine call.
+        let expected = result
+            .query_engine(serve)
+            .top_k_one(result.query_engine(serve).index().unit_vector(50));
+        let scheduler = result.request_scheduler(serve, SchedulerConfig::default());
+        let client = scheduler.client();
+        let query = scheduler.engine().index().unit_vector(50).to_vec();
+        let answer = client.submit(&query).unwrap().wait().unwrap();
+        assert_eq!(answer, expected);
+        assert_eq!(answer.neighbors()[0].node, 50);
+        assert_eq!(scheduler.stats().completed, 1);
     }
 
     #[test]

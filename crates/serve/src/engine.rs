@@ -166,13 +166,24 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
-    /// Queries per second of a batch of `queries`.
+    /// Queries per second of a batch of `queries`. An empty batch is 0.0.
+    ///
+    /// # Panics
+    /// Panics if `queries > 0` but `wall_secs` is not positive: a
+    /// zero-duration run has no meaningful throughput, and returning 0.0
+    /// here (the old behavior) silently passed the bench regression gate on
+    /// degenerate configs — a misconfigured bench must fail loudly instead.
     pub fn qps(&self, queries: usize) -> f64 {
-        if self.wall_secs > 0.0 {
-            queries as f64 / self.wall_secs
-        } else {
-            0.0
+        if queries == 0 {
+            return 0.0;
         }
+        assert!(
+            self.wall_secs > 0.0,
+            "qps of {queries} queries over a non-positive wall time ({}s): \
+             degenerate measurement, refusing to report 0.0",
+            self.wall_secs
+        );
+        queries as f64 / self.wall_secs
     }
 }
 
@@ -505,7 +516,15 @@ mod tests {
             ..QueryStats::default()
         };
         assert_eq!(stats.qps(100), 200.0);
-        assert_eq!(QueryStats::default().qps(100), 0.0);
+        assert_eq!(QueryStats::default().qps(0), 0.0, "empty batch is fine");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive wall time")]
+    fn qps_rejects_zero_duration_runs() {
+        // Regression: this used to return 0.0, which the bench gate's
+        // missing-row check never saw — a degenerate config sailed through.
+        QueryStats::default().qps(100);
     }
 
     #[test]

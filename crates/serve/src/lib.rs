@@ -25,20 +25,37 @@
 //!   ([`topk`]), and the LSH hyperplanes are seeded — the same index and
 //!   config always produce the same results.
 //!
+//! * [`Scheduler`] — the serving front door ([`schedule`]): independent
+//!   callers submit single queries through cloneable [`RequestClient`]s; a
+//!   dispatcher thread dynamically batches them under a [`BatchPolicy`]
+//!   (size or deadline, whichever trips first), sheds load beyond
+//!   `max_inflight`, serves hot queries from an LRU cache, and reports
+//!   latency/batch/shed statistics ([`SchedulerStats`]). Time is injected
+//!   through the [`Clock`] trait ([`clock`]) so deadline behavior is
+//!   deterministically testable on a [`VirtualClock`].
+//!
 //! `recall@k` of the LSH backend against the exact reference is evaluated by
 //! `distger-eval`'s `recall` module and enforced (together with the LSH QPS
 //! advantage) by the bench regression gate.
 
+mod cache;
+pub mod clock;
 pub mod engine;
 pub mod exact;
 pub mod fixtures;
 pub mod index;
 pub mod lsh;
 mod normal;
+pub mod schedule;
 pub mod topk;
 
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use engine::{BatchResults, QueryBackend, QueryBatch, QueryEngine, QueryStats, ServeConfig};
 pub use fixtures::gaussian_clusters;
 pub use index::EmbeddingIndex;
 pub use lsh::{LshConfig, LshIndex, ProbeScratch};
+pub use schedule::{
+    BatchPolicy, Log2Histogram, PendingQuery, Rejected, RequestClient, Scheduler, SchedulerConfig,
+    SchedulerStats,
+};
 pub use topk::{BoundedTopK, Neighbor, TopK};

@@ -1,5 +1,7 @@
 //! Serving quickstart: train embeddings, export them through the binary
-//! store, and answer batched top-k similarity queries on both query backends.
+//! store, answer batched top-k similarity queries on both query backends,
+//! then serve concurrent callers through the dynamic-batching request
+//! scheduler (the front door a deployment would expose).
 //!
 //! Run with: `cargo run --release --example serve_queries`
 
@@ -77,5 +79,54 @@ fn main() {
         print!("  {} ({:.3})", n.node, n.score);
     }
     println!();
+
+    // 5. The front door: independent callers submit *single* queries
+    //    through the dynamic-batching scheduler — no caller assembles a
+    //    QueryBatch; the dispatcher does, under a size-or-deadline policy —
+    //    here wired straight off the pipeline result via
+    //    `PipelineResult::request_scheduler`.
+    let scheduler = result.request_scheduler(
+        ServeConfig {
+            k: 10,
+            ..ServeConfig::default()
+        },
+        SchedulerConfig::default()
+            .with_batch(BatchPolicy {
+                max_batch: 64,
+                max_delay: std::time::Duration::from_micros(300),
+            })
+            .with_cache_capacity(64),
+    );
+    let callers = 4;
+    let queries_per_caller = 100;
+    std::thread::scope(|scope| {
+        for caller in 0..callers {
+            let client = scheduler.client();
+            let engine = scheduler.engine();
+            scope.spawn(move || {
+                for i in 0..queries_per_caller {
+                    let node = ((caller * 31 + i * 7) % engine.index().num_nodes()) as NodeId;
+                    let answer = client
+                        .submit(engine.index().unit_vector(node))
+                        .expect("under the admission bound")
+                        .wait()
+                        .expect("scheduler alive");
+                    assert_eq!(answer.neighbors()[0].node, node, "self-query ranks itself");
+                }
+            });
+        }
+    });
+    let stats = scheduler.stats();
+    println!(
+        "scheduler: {:.0} queries/s across {callers} callers \
+         (p99 {:.2}ms, avg batch {:.1} over {} batches, \
+         cache hit rate {:.0}%, {} shed)",
+        stats.qps(),
+        stats.latency_quantile(0.99).as_secs_f64() * 1e3,
+        stats.avg_batch(),
+        stats.batches,
+        stats.cache_hit_rate() * 100.0,
+        stats.shed,
+    );
     std::fs::remove_file(&path).ok();
 }

@@ -13,7 +13,8 @@
 //!   (KnightKing-style, HuGE-D, InCoM);
 //! * [`embed`] — distributed Skip-Gram trainers (Hogwild, Pword2vec, DSGL);
 //! * [`serve`] — the query-serving layer: binary embedding store, exact and
-//!   LSH batched top-k engines;
+//!   LSH batched top-k engines, and the dynamic-batching request scheduler
+//!   front door;
 //! * [`eval`] — link prediction, node classification and serving recall@k;
 //! * [`core`] — the end-to-end pipeline and the comparison baselines.
 //!
@@ -61,7 +62,8 @@ pub mod prelude {
     pub use distger_graph::{CsrGraph, GraphBuilder, NodeId};
     pub use distger_partition::{MpgpConfig, Partitioning, StreamingOrder};
     pub use distger_serve::{
-        EmbeddingIndex, LshConfig, QueryBackend, QueryBatch, QueryEngine, ServeConfig, TopK,
+        BatchPolicy, EmbeddingIndex, LshConfig, QueryBackend, QueryBatch, QueryEngine,
+        RequestClient, Scheduler, SchedulerConfig, ServeConfig, TopK,
     };
     pub use distger_walks::{
         run_distributed_walks, Corpus, InfoMode, LengthPolicy, SamplingBackend, WalkCountPolicy,
