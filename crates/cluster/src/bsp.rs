@@ -29,6 +29,7 @@ use std::time::Instant;
 use crate::comm::{CommStats, MessageSize};
 use crate::fault::{panic_message, FaultInjector, RecoveryExhausted, RecoveryPolicy};
 use crate::pool::{run_rounds, ExecutionBackend};
+use crate::transport::{InMemoryTransport, Transport};
 use crate::MachineId;
 
 /// Per-machine outgoing message buffer handed to the step function.
@@ -37,17 +38,26 @@ use crate::MachineId;
 /// dropped) at every superstep boundary so queue capacity is reused.
 pub struct Outbox<M> {
     owner: MachineId,
-    queues: Vec<Vec<M>>,
-    stats: CommStats,
+    pub(crate) queues: Vec<Vec<M>>,
+    pub(crate) stats: CommStats,
 }
 
 impl<M: MessageSize> Outbox<M> {
-    fn new(owner: MachineId, num_machines: usize) -> Self {
+    /// An empty outbox for machine `owner` in a `num_machines`-machine job.
+    /// Public so out-of-process drivers (the walks crate's distributed round
+    /// loop) can own their machines' outboxes and hand them to a
+    /// [`Transport`].
+    pub fn new(owner: MachineId, num_machines: usize) -> Self {
         Self {
             owner,
             queues: (0..num_machines).map(|_| Vec::new()).collect(),
             stats: CommStats::new(),
         }
+    }
+
+    /// Communication statistics accumulated by this outbox.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
     }
 
     /// Queues `msg` for delivery to machine `to` at the next superstep.
@@ -191,29 +201,34 @@ struct MachineSlot<S, M> {
     outbox: Outbox<M>,
 }
 
-/// Superstep boundary for the pooled backends: move queued messages into the
-/// (drained) inboxes in ascending source order, exactly like the
-/// spawn-per-step boundary, so inbox contents are bit-identical across
+/// Superstep boundary for the pooled backends, routed through the machine's
+/// [`Transport`]: lock every slot (the coordinator has exclusive access —
+/// workers are parked at the barrier), project the guards into outbox/inbox
+/// reference slices, and let the transport move the queues. For the
+/// in-process engine the transport is always [`InMemoryTransport`], which
+/// delivers each inbox's messages in ascending source order — exactly like
+/// the spawn-per-step boundary — so inbox contents are bit-identical across
 /// backends. `append` transfers elements and keeps both allocations.
-fn exchange_messages<S, M>(slots: &[Mutex<MachineSlot<S, M>>]) {
+fn exchange_messages<S, M: MessageSize>(
+    transport: &mut InMemoryTransport,
+    slots: &[Mutex<MachineSlot<S, M>>],
+    superstep: u64,
+) {
     // Safety of the unwraps: the exchange runs in the coordinator's
     // exclusive control phase with every worker parked at the barrier, and a
     // worker panic poisons the barrier before the coordinator can get here —
     // the locks are never contended and never poisoned.
-    for src in 0..slots.len() {
-        let mut src_slot = slots[src].lock().unwrap();
-        let src_slot = &mut *src_slot;
-        // Self-delivery inside the same slot (re-locking `src` would
-        // deadlock), then every other destination.
-        src_slot.inbox.append(&mut src_slot.outbox.queues[src]);
-        for (dest, dest_slot) in slots.iter().enumerate() {
-            if dest == src {
-                continue;
-            }
-            let mut dest_slot = dest_slot.lock().unwrap();
-            dest_slot.inbox.append(&mut src_slot.outbox.queues[dest]);
-        }
+    let mut guards: Vec<_> = slots.iter().map(|slot| slot.lock().unwrap()).collect();
+    let mut outboxes: Vec<&mut Outbox<M>> = Vec::with_capacity(guards.len());
+    let mut inboxes: Vec<&mut Vec<M>> = Vec::with_capacity(guards.len());
+    for guard in guards.iter_mut() {
+        let slot = &mut **guard;
+        outboxes.push(&mut slot.outbox);
+        inboxes.push(&mut slot.inbox);
     }
+    transport
+        .exchange(superstep, &mut outboxes, &mut inboxes)
+        .expect("the in-memory transport is infallible");
 }
 
 /// The pool backend: `num_machines` persistent worker threads, one pinned to
@@ -333,6 +348,10 @@ where
 {
     let num_machines = states.len();
     assert!(num_machines > 0, "need at least one machine");
+    // The in-process engine always exchanges through the in-memory
+    // transport; out-of-process runs use their own driver (see the walks
+    // crate's distributed round loop) with a `SocketTransport`.
+    let mut transport = InMemoryTransport::new(num_machines);
     let slots: Vec<Mutex<MachineSlot<S, M>>> = states
         .into_iter()
         .enumerate()
@@ -369,7 +388,7 @@ where
             // Exchange phase for the superstep that just finished (a no-op
             // right after a round boundary: all outboxes are drained).
             if generation > 0 {
-                exchange_messages(&slots);
+                exchange_messages(&mut transport, &slots, total_supersteps);
             }
             let pending = slots
                 .iter()

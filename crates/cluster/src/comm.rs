@@ -17,8 +17,52 @@ pub trait MessageSize {
     fn size_bytes(&self) -> usize;
 }
 
+/// Measured on-the-wire traffic of a socket transport, reported next to the
+/// *modelled* numbers so estimate and measurement can be compared directly.
+/// All-zero for in-memory runs (nothing crossed a wire).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Frames put on the wire by this endpoint.
+    pub frames_sent: u64,
+    /// Frames received by this endpoint.
+    pub frames_received: u64,
+    /// Total bytes sent, headers included.
+    pub bytes_sent: u64,
+    /// Total bytes received, headers included.
+    pub bytes_received: u64,
+    /// Payload bytes of superstep batch/delivery frames only — the measured
+    /// counterpart of [`CommStats::bytes`] (control traffic excluded).
+    pub batch_bytes_sent: u64,
+    /// Wall-clock nanoseconds spent blocked in socket sends/receives — the
+    /// measured counterpart of [`NetworkModel::comm_time_secs`].
+    pub wire_nanos: u64,
+}
+
+impl WireStats {
+    /// Merges another record into this one (sums every counter).
+    pub fn merge(&mut self, other: &WireStats) {
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.batch_bytes_sent += other.batch_bytes_sent;
+        self.wire_nanos += other.wire_nanos;
+    }
+
+    /// Measured wire time in seconds.
+    pub fn wire_secs(&self) -> f64 {
+        self.wire_nanos as f64 / 1e9
+    }
+}
+
 /// Aggregated communication statistics for one run (or one machine).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Equality compares the **logical trace** — messages, bytes, steps,
+/// supersteps — and deliberately ignores [`CommStats::wire`]: measured wire
+/// traffic is a property of the deployment (which transport, how many
+/// processes), not of the algorithm, and the bit-identity properties assert
+/// that the *algorithm* is unchanged across transports.
+#[derive(Clone, Debug, Default)]
 pub struct CommStats {
     /// Number of cross-machine messages.
     pub messages: u64,
@@ -30,7 +74,21 @@ pub struct CommStats {
     pub remote_steps: u64,
     /// Number of BSP supersteps executed.
     pub supersteps: u64,
+    /// Measured on-the-wire traffic (all-zero unless a socket transport ran).
+    pub wire: WireStats,
 }
+
+impl PartialEq for CommStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.messages == other.messages
+            && self.bytes == other.bytes
+            && self.local_steps == other.local_steps
+            && self.remote_steps == other.remote_steps
+            && self.supersteps == other.supersteps
+    }
+}
+
+impl Eq for CommStats {}
 
 impl CommStats {
     /// An empty statistics record.
@@ -57,6 +115,7 @@ impl CommStats {
         self.local_steps += other.local_steps;
         self.remote_steps += other.remote_steps;
         self.supersteps = self.supersteps.max(other.supersteps);
+        self.wire.merge(&other.wire);
     }
 
     /// Total steps, local and remote.
@@ -160,6 +219,25 @@ mod tests {
         s.record_message(500_000); // 0.5 s transfer + 1 ms latency
         let t = m.comm_time_secs(&s);
         assert!((t - 0.501).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_is_logical_and_ignores_wire_measurements() {
+        let mut a = CommStats::new();
+        a.record_message(80);
+        let mut b = a.clone();
+        b.wire.frames_sent = 12;
+        b.wire.bytes_sent = 4096;
+        b.wire.wire_nanos = 1_000_000;
+        // Same logical trace, different deployment measurements: equal.
+        assert_eq!(a, b);
+        b.record_local_step();
+        assert_ne!(a, b);
+        // Merge sums wire counters alongside the logical trace.
+        a.merge(&b);
+        assert_eq!(a.wire.frames_sent, 12);
+        assert_eq!(a.wire.bytes_sent, 4096);
+        assert!((a.wire.wire_secs() - 1e-3).abs() < 1e-12);
     }
 
     #[test]

@@ -33,12 +33,14 @@ pub mod fault;
 pub mod memory;
 pub mod pool;
 pub mod timer;
+pub mod transport;
+pub mod wire;
 
 pub use bsp::{
     run_bsp, run_bsp_round_loop, run_bsp_round_loop_with, run_bsp_supervised, run_bsp_with,
     BspOutcome, Mailbox, Outbox,
 };
-pub use comm::{CommStats, MessageSize, NetworkModel};
+pub use comm::{CommStats, MessageSize, NetworkModel, WireStats};
 pub use config::ClusterConfig;
 pub use fault::{
     panic_message, FaultInjector, FaultKind, FaultPlan, FaultPoint, RecoveryExhausted,
@@ -49,6 +51,10 @@ pub use pool::{
     run_rounds, run_rounds_with, BarrierPoisoned, EpochBarrier, ExecutionBackend, PoolStats,
 };
 pub use timer::{PhaseTimes, Stopwatch};
+pub use transport::{
+    machine_split, ControlChannel, InMemoryTransport, SocketTransport, Transport, TransportKind,
+};
+pub use wire::{read_frame, write_frame, Frame, Wire, WireReader};
 
 /// Identifier of a simulated machine (re-exported from `distger-partition` so
 /// downstream crates see a single definition).

@@ -1,0 +1,436 @@
+//! Hand-rolled wire format for the socket transport.
+//!
+//! The build environment has no serde, so frames are encoded by hand in the
+//! same spirit as `crates/bench/src/json.rs`: explicit little-endian fields,
+//! explicit errors, no panics on malformed input. Every frame is
+//! length-prefixed and carries an FNV-1a64 checksum over its payload (seeded
+//! by the header fields), so a corrupt or truncated stream surfaces as
+//! `io::ErrorKind::InvalidData` / `UnexpectedEof` — never as a panic or an
+//! out-of-bounds read.
+//!
+//! ## Frame layout (32-byte header + payload)
+//!
+//! | offset | size | field         | notes                                   |
+//! |--------|------|---------------|-----------------------------------------|
+//! | 0      | 4    | magic         | `b"DGTF"`                               |
+//! | 4      | 2    | version       | little-endian, currently `1`            |
+//! | 6      | 1    | kind          | frame-kind discriminant                 |
+//! | 7      | 1    | flags         | reserved, currently `0`                 |
+//! | 8      | 4    | sender        | endpoint id of the sending process      |
+//! | 12     | 8    | seq           | per-connection sequence number          |
+//! | 20     | 4    | payload\_len  | sanity-capped at [`MAX_PAYLOAD_BYTES`]  |
+//! | 24     | 8    | checksum      | FNV-1a64 over header prefix ∥ payload   |
+//!
+//! The checksum folds the first 24 header bytes before the payload, so a
+//! frame whose header was corrupted in flight fails the checksum even when
+//! the payload survived intact.
+
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening every frame: **D**ist**G**er **T**ransport **F**rame.
+pub const FRAME_MAGIC: [u8; 4] = *b"DGTF";
+/// Current wire-format version. Bumped on any incompatible layout change.
+pub const WIRE_VERSION: u16 = 1;
+/// Fixed size of the frame header in bytes.
+pub const FRAME_HEADER_BYTES: usize = 32;
+/// Upper bound on a single frame payload. A length prefix beyond this is
+/// treated as stream corruption rather than an allocation request.
+pub const MAX_PAYLOAD_BYTES: u32 = 1 << 30;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Frame kinds used by the socket transport protocol.
+pub mod kind {
+    /// Worker → coordinator: first frame after connecting.
+    pub const HELLO: u8 = 1;
+    /// Coordinator → worker: endpoint assignment + topology.
+    pub const HELLO_ACK: u8 = 2;
+    /// Worker → coordinator: all cross-endpoint message queues.
+    pub const BATCH: u8 = 3;
+    /// Coordinator → worker: the queues destined for that endpoint.
+    pub const DELIVER: u8 = 4;
+    /// Worker → coordinator: local "any messages pending" flag.
+    pub const PENDING: u8 = 5;
+    /// Coordinator → worker: global OR of the pending flags.
+    pub const PENDING_RESULT: u8 = 6;
+    /// Coordinator → worker: opaque control payload (all endpoints).
+    pub const BROADCAST: u8 = 7;
+    /// Worker → coordinator: opaque control payload (collected in order).
+    pub const GATHER: u8 = 8;
+    /// Coordinator → worker: opaque per-endpoint control payload.
+    pub const SCATTER: u8 = 9;
+}
+
+/// Builds an `InvalidData` error; the standard failure mode for malformed
+/// frames (mirrors the checkpoint codec's convention).
+pub(crate) fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn eof(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, msg.to_string())
+}
+
+/// Byte-wise FNV-1a64 over `parts`, concatenated.
+fn fnv1a64(parts: &[&[u8]]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for part in parts {
+        for &byte in *part {
+            hash = (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Encoding helpers (append little-endian fields to a byte buffer)
+// ---------------------------------------------------------------------------
+
+/// Appends a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern (round-trips NaN payloads).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Appends a `u32` length prefix followed by the raw bytes.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+// ---------------------------------------------------------------------------
+// WireReader — a bounds-checked cursor over a received payload
+// ---------------------------------------------------------------------------
+
+/// Cursor over a decoded payload. Every accessor is bounds-checked and
+/// returns `UnexpectedEof` instead of panicking when the payload is shorter
+/// than the schema expects.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps a payload for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(eof("payload truncated"));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> io::Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` stored as its bit pattern.
+    pub fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self) -> io::Result<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Errors unless the payload was consumed exactly.
+    pub fn finish(self) -> io::Result<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(invalid(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire trait — self-describing encode/decode for message types
+// ---------------------------------------------------------------------------
+
+/// A type that can cross the socket transport. Implementations must be
+/// total: `decode` returns an error on any malformed input, never panics.
+pub trait Wire: Sized {
+    /// Appends the encoded form to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+    /// Decodes one value, advancing the reader past it.
+    fn decode(r: &mut WireReader<'_>) -> io::Result<Self>;
+
+    /// Convenience: encodes into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/// A decoded frame: the header fields the protocol layer routes on, plus the
+/// checksum-verified payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame-kind discriminant (see [`kind`]).
+    pub kind: u8,
+    /// Reserved flag bits (currently always zero).
+    pub flags: u8,
+    /// Endpoint id of the sender.
+    pub sender: u32,
+    /// Per-connection sequence number.
+    pub seq: u64,
+    /// Checksum-verified payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes a complete frame (header + payload) into one buffer, ready for a
+/// single `write_all`.
+pub fn encode_frame(kind: u8, sender: u32, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    put_u16(&mut out, WIRE_VERSION);
+    put_u8(&mut out, kind);
+    put_u8(&mut out, 0); // flags
+    put_u32(&mut out, sender);
+    put_u64(&mut out, seq);
+    put_u32(&mut out, payload.len() as u32);
+    let checksum = fnv1a64(&[&out[..24], payload]);
+    put_u64(&mut out, checksum);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes one frame, returning the number of bytes put on the wire.
+pub fn write_frame(
+    w: &mut impl Write,
+    kind: u8,
+    sender: u32,
+    seq: u64,
+    payload: &[u8],
+) -> io::Result<usize> {
+    let bytes = encode_frame(kind, sender, seq, payload);
+    w.write_all(&bytes)?;
+    Ok(bytes.len())
+}
+
+/// Reads and validates one frame. Malformed input — bad magic, unknown
+/// version, oversized length prefix, checksum mismatch, truncation — is an
+/// `InvalidData`/`UnexpectedEof` error, never a panic.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    r.read_exact(&mut header)?;
+    if header[..4] != FRAME_MAGIC {
+        return Err(invalid("bad frame magic (not a DGTF stream?)"));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != WIRE_VERSION {
+        return Err(invalid(format!(
+            "unsupported wire version {version} (this build speaks {WIRE_VERSION})"
+        )));
+    }
+    let kind = header[6];
+    let flags = header[7];
+    let sender = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    let seq = u64::from_le_bytes([
+        header[12], header[13], header[14], header[15], header[16], header[17], header[18],
+        header[19],
+    ]);
+    let payload_len = u32::from_le_bytes([header[20], header[21], header[22], header[23]]);
+    if payload_len > MAX_PAYLOAD_BYTES {
+        return Err(invalid(format!(
+            "frame payload length {payload_len} exceeds cap {MAX_PAYLOAD_BYTES}"
+        )));
+    }
+    let stored_checksum = u64::from_le_bytes([
+        header[24], header[25], header[26], header[27], header[28], header[29], header[30],
+        header[31],
+    ]);
+    let mut payload = vec![0u8; payload_len as usize];
+    r.read_exact(&mut payload)?;
+    let computed = fnv1a64(&[&header[..24], &payload]);
+    if computed != stored_checksum {
+        return Err(invalid(format!(
+            "frame checksum mismatch (stored {stored_checksum:#018x}, computed {computed:#018x})"
+        )));
+    }
+    Ok(Frame {
+        kind,
+        flags,
+        sender,
+        seq,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Vec<u8> {
+        encode_frame(kind::BATCH, 3, 42, b"hello transport")
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let bytes = sample_frame();
+        assert_eq!(bytes.len(), FRAME_HEADER_BYTES + 15);
+        let frame = read_frame(&mut &bytes[..]).expect("roundtrip");
+        assert_eq!(frame.kind, kind::BATCH);
+        assert_eq!(frame.sender, 3);
+        assert_eq!(frame.seq, 42);
+        assert_eq!(frame.payload, b"hello transport");
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let bytes = encode_frame(kind::PENDING, 0, 0, &[]);
+        let frame = read_frame(&mut &bytes[..]).expect("roundtrip");
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let clean = sample_frame();
+        for i in 0..clean.len() {
+            for bit in 0..8 {
+                let mut bytes = clean.clone();
+                bytes[i] ^= 1 << bit;
+                let result = read_frame(&mut &bytes[..]);
+                assert!(
+                    result.is_err(),
+                    "flipping bit {bit} of byte {i} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors_never_panics() {
+        let clean = sample_frame();
+        for len in 0..clean.len() {
+            let result = read_frame(&mut &clean[..len]);
+            assert!(result.is_err(), "truncation to {len} bytes went undetected");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut bytes = sample_frame();
+        // Overwrite payload_len with a huge value; the checksum no longer
+        // matters because the cap check fires first.
+        bytes[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds cap"));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut bytes = sample_frame();
+        bytes[4..6].copy_from_slice(&7u16.to_le_bytes());
+        let err = read_frame(&mut &bytes[..]).unwrap_err();
+        assert!(err.to_string().contains("unsupported wire version"));
+    }
+
+    #[test]
+    fn reader_is_bounds_checked() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 5);
+        let mut r = WireReader::new(&out);
+        assert_eq!(r.u32().unwrap(), 5);
+        assert!(r.u8().is_err());
+        let mut r2 = WireReader::new(&out);
+        // A length prefix pointing past the end must error, not panic.
+        assert!(r2.bytes().is_err());
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let mut out = Vec::new();
+        put_u16(&mut out, 9);
+        let mut r = WireReader::new(&out);
+        assert_eq!(r.u8().unwrap(), 9);
+        assert!(r.finish().is_err());
+        let mut r = WireReader::new(&out);
+        r.u16().unwrap();
+        assert!(WireReader::new(&[]).finish().is_ok());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn f64_bit_pattern_roundtrip() {
+        let mut out = Vec::new();
+        for v in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, f64::MIN_POSITIVE] {
+            put_f64(&mut out, v);
+        }
+        let mut r = WireReader::new(&out);
+        assert_eq!(r.f64().unwrap().to_bits(), 0.0f64.to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap(), 1.5);
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.f64().unwrap(), f64::INFINITY);
+        assert_eq!(r.f64().unwrap(), f64::MIN_POSITIVE);
+        r.finish().unwrap();
+    }
+}

@@ -2,7 +2,7 @@
 
 use distger_cluster::{
     ClusterConfig, CommStats, ExecutionBackend, MemoryEstimate, PhaseTimes, RecoveryPolicy,
-    Stopwatch,
+    Stopwatch, TransportKind,
 };
 use distger_embed::{train_distributed, Embeddings, TrainStats, TrainerConfig, TrainerKind};
 use distger_graph::CsrGraph;
@@ -15,7 +15,8 @@ use distger_partition::{
 };
 use distger_serve::{EmbeddingIndex, QueryEngine, Scheduler, SchedulerConfig, ServeConfig};
 use distger_walks::{
-    run_distributed_walks, CheckpointPolicy, SamplingBackend, WalkEngineConfig, WalkModel,
+    run_distributed_walks, CheckpointPolicy, FreqBackend, SamplingBackend, WalkEngineConfig,
+    WalkModel,
 };
 
 /// Which partitioner feeds the walk engine.
@@ -149,9 +150,49 @@ impl DistGerConfig {
         self
     }
 
+    /// Builder-style partitioner override.
+    pub fn with_partitioner(mut self, partitioner: PartitionerChoice) -> Self {
+        self.partitioner = partitioner;
+        self
+    }
+
+    /// Builder-style cluster-description override. The machine count feeds
+    /// every phase; the network model prices the measured traffic.
+    pub fn with_cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Builder-style trainer-kind override (Hogwild / Pword2vec / DSGL).
+    pub fn with_trainer_kind(mut self, kind: TrainerKind) -> Self {
+        self.training.kind = kind;
+        self
+    }
+
     /// Builder-style walk-model override (the general API of §6.6).
     pub fn with_walk_model(mut self, model: WalkModel) -> Self {
         self.walks.model = model;
+        self
+    }
+
+    /// Builder-style frequency-store backend override for the walk phase.
+    /// The default everywhere is [`FreqBackend::Flat`]; the reference
+    /// [`FreqBackend::NestedReference`] is retained for A/B comparisons.
+    pub fn with_freq_backend(mut self, backend: FreqBackend) -> Self {
+        self.walks.freq_backend = backend;
+        self
+    }
+
+    /// Builder-style transport override, applied to both BSP phases — like
+    /// [`with_execution_backend`](DistGerConfig::with_execution_backend),
+    /// one call keeps the phases consistent. [`run_pipeline`] executes in
+    /// one process and therefore requires the default
+    /// [`TransportKind::InMemory`]; the socket transport is served by the
+    /// multi-process drivers ([`distger_walks::run_walks_over`] /
+    /// [`distger_embed::train_distributed_over`]).
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.walks.transport = transport;
+        self.training.transport = transport;
         self
     }
 
@@ -524,6 +565,33 @@ mod tests {
         assert!(hardened.walk_checkpoint_bytes > 0);
         assert!(hardened.walk_checkpoint_secs >= 0.0);
         assert_eq!(plain.walk_checkpoint_bytes, 0);
+    }
+
+    #[test]
+    fn builders_cover_every_field() {
+        let config = DistGerConfig::distger(2)
+            .with_partitioner(PartitionerChoice::Hash)
+            .with_cluster(ClusterConfig::new(3))
+            .with_trainer_kind(TrainerKind::Hogwild)
+            .with_walk_model(WalkModel::DeepWalk)
+            .with_freq_backend(FreqBackend::NestedReference)
+            .with_sampling_backend(SamplingBackend::LinearScan)
+            .with_execution_backend(ExecutionBackend::Pool)
+            .with_transport(TransportKind::Socket)
+            .with_seed(9);
+        assert_eq!(config.partitioner, PartitionerChoice::Hash);
+        assert_eq!(config.cluster.num_machines, 3);
+        assert_eq!(config.training.kind, TrainerKind::Hogwild);
+        assert_eq!(config.walks.model, WalkModel::DeepWalk);
+        assert_eq!(config.walks.freq_backend, FreqBackend::NestedReference);
+        assert_eq!(config.walks.sampling_backend, SamplingBackend::LinearScan);
+        assert_eq!(config.walks.execution, ExecutionBackend::Pool);
+        assert_eq!(config.training.execution, ExecutionBackend::Pool);
+        assert_eq!(config.walks.transport, TransportKind::Socket);
+        assert_eq!(config.training.transport, TransportKind::Socket);
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.walks.seed, 9);
+        assert_eq!(config.training.seed, 9);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! model replica, and synchronizes parameters either fully or with the
 //! hotness-block mechanism of Improvement-III ([`SyncStrategy`]).
 
+pub mod dist;
 pub mod dsgl;
 pub mod embeddings;
 pub mod hogwild;
@@ -28,6 +29,7 @@ pub mod sync;
 pub mod trainer;
 pub mod vocab;
 
+pub use dist::{train_distributed_over, train_distributed_over_loopback};
 pub use embeddings::Embeddings;
 pub use sync::SyncStrategy;
 pub use trainer::{
@@ -35,7 +37,11 @@ pub use trainer::{
 };
 pub use vocab::Vocab;
 
-/// Re-exports of the fault-tolerance knobs so trainer callers can configure
-/// [`TrainerConfig::recovery`] without depending on `distger-cluster`
+/// Re-exports of the fault-tolerance knobs — and the transport layer — so
+/// trainer callers can configure [`TrainerConfig`] and drive
+/// [`dist::train_distributed_over`] without depending on `distger-cluster`
 /// directly.
-pub use distger_cluster::{FaultInjector, FaultPlan, RecoveryExhausted, RecoveryPolicy};
+pub use distger_cluster::{
+    ControlChannel, FaultInjector, FaultPlan, InMemoryTransport, RecoveryExhausted, RecoveryPolicy,
+    SocketTransport, TransportKind,
+};

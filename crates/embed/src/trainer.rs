@@ -16,7 +16,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use distger_cluster::{
     panic_message, run_rounds, CommStats, ExecutionBackend, FaultInjector, RecoveryExhausted,
-    RecoveryPolicy,
+    RecoveryPolicy, TransportKind,
 };
 use distger_walks::rng::SplitMix64;
 use distger_walks::Corpus;
@@ -96,6 +96,13 @@ pub struct TrainerConfig {
     /// of its updates, which Hogwild-style training absorbs (at-least-once
     /// chunk execution). Disabled by default.
     pub recovery: RecoveryPolicy,
+    /// How machines talk to each other. [`TransportKind::InMemory`] (the
+    /// default) runs every machine in this process;
+    /// [`TransportKind::Socket`] is served by the multi-process driver
+    /// ([`crate::dist::train_distributed_over`]) — [`train_distributed`]
+    /// rejects it, since a single in-process call cannot span process
+    /// boundaries.
+    pub transport: TransportKind,
     /// Seed for initialization and negative sampling.
     pub seed: u64,
 }
@@ -115,6 +122,7 @@ impl Default for TrainerConfig {
             threads: 2,
             execution: ExecutionBackend::RoundLoop,
             recovery: RecoveryPolicy::default(),
+            transport: TransportKind::InMemory,
             seed: 0,
         }
     }
@@ -157,15 +165,65 @@ impl TrainerConfig {
         self
     }
 
+    /// Builder-style window-size override.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Builder-style negative-sample count override.
+    pub fn with_negatives(mut self, negatives: usize) -> Self {
+        self.negatives = negatives;
+        self
+    }
+
+    /// Builder-style learning-rate override (initial and final).
+    pub fn with_learning_rate(mut self, learning_rate: f32, min_learning_rate: f32) -> Self {
+        self.learning_rate = learning_rate;
+        self.min_learning_rate = min_learning_rate;
+        self
+    }
+
+    /// Builder-style synchronization-strategy override.
+    pub fn with_sync(mut self, sync: SyncStrategy) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Builder-style synchronization-cadence override.
+    pub fn with_sync_rounds_per_epoch(mut self, sync_rounds_per_epoch: usize) -> Self {
+        self.sync_rounds_per_epoch = sync_rounds_per_epoch;
+        self
+    }
+
+    /// Builder-style per-machine thread-count override.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Builder-style execution-backend override.
-    pub fn with_execution(mut self, execution: ExecutionBackend) -> Self {
+    pub fn with_execution_backend(mut self, execution: ExecutionBackend) -> Self {
         self.execution = execution;
         self
+    }
+
+    /// Deprecated spelling of [`Self::with_execution_backend`], kept for one
+    /// release so existing callers migrate at their own pace.
+    #[deprecated(since = "0.6.0", note = "renamed to `with_execution_backend`")]
+    pub fn with_execution(self, execution: ExecutionBackend) -> Self {
+        self.with_execution_backend(execution)
     }
 
     /// Builder-style recovery-policy override.
     pub fn with_recovery_policy(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Builder-style transport override.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -239,6 +297,12 @@ fn train_distributed_inner(
     faults: Option<&FaultInjector>,
 ) -> Result<(Embeddings, TrainStats), RecoveryExhausted> {
     assert!(num_machines > 0, "need at least one machine");
+    assert_eq!(
+        config.transport,
+        TransportKind::InMemory,
+        "train_distributed executes every machine in this process; \
+         socket transports are served by embed::dist::train_distributed_over"
+    );
     let n = corpus.num_nodes();
     if n == 0 || corpus.total_tokens() == 0 {
         return Ok((Embeddings::zeros(n, config.dim), TrainStats::default()));
@@ -510,7 +574,7 @@ pub fn train(corpus: &Corpus, config: &TrainerConfig) -> (Embeddings, TrainStats
 }
 
 /// The `slice_idx`-th of `slices` contiguous portions of a shard.
-fn epoch_slice(shard: &[Vec<u32>], slice_idx: usize, slices: usize) -> &[Vec<u32>] {
+pub(crate) fn epoch_slice(shard: &[Vec<u32>], slice_idx: usize, slices: usize) -> &[Vec<u32>] {
     let slices = slices.max(1);
     let per = shard.len().div_ceil(slices);
     let start = (slice_idx * per).min(shard.len());
@@ -520,7 +584,7 @@ fn epoch_slice(shard: &[Vec<u32>], slice_idx: usize, slices: usize) -> &[Vec<u32
 
 /// Trains one machine's chunk with the configured kind and thread count.
 /// Returns `(pairs, peak_local_buffer_bytes)`.
-fn train_machine_chunk(
+pub(crate) fn train_machine_chunk(
     replica: &ModelReplica,
     walks: &[Vec<u32>],
     table: &NegativeTable,
@@ -672,7 +736,7 @@ mod tests {
         let (spawn, spawn_stats) = train_distributed(
             &corpus,
             4,
-            &config.with_execution(ExecutionBackend::SpawnPerStep),
+            &config.with_execution_backend(ExecutionBackend::SpawnPerStep),
         );
         assert_eq!(pool.num_nodes(), spawn.num_nodes());
         for v in 0..10u32 {
@@ -725,7 +789,7 @@ mod tests {
         let corpus = community_corpus();
         let config = TrainerConfig::small()
             .with_dim(16)
-            .with_execution(ExecutionBackend::SpawnPerStep)
+            .with_execution_backend(ExecutionBackend::SpawnPerStep)
             .with_recovery_policy(RecoveryPolicy::retries(1));
         let faults = FaultPlan::default().panic_at(0, 1, 0).build();
         let (embeddings, stats) = train_distributed_supervised(&corpus, 4, &config, Some(&faults))

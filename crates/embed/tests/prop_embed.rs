@@ -221,7 +221,7 @@ proptest! {
         } else {
             ExecutionBackend::RoundLoop
         };
-        let config = TrainerConfig::small().with_dim(8).with_execution(backend);
+        let config = TrainerConfig::small().with_dim(8).with_execution_backend(backend);
         let (_, clean) = train_distributed(&corpus, 4, &config);
 
         let faults = FaultPlan::new().panic_at(fault_machine, fault_chunk, 0).build();
@@ -254,7 +254,7 @@ proptest! {
         } else {
             ExecutionBackend::RoundLoop
         };
-        let config = TrainerConfig::small().with_dim(8).with_execution(backend);
+        let config = TrainerConfig::small().with_dim(8).with_execution_backend(backend);
         let faults = FaultPlan::new().panic_at(fault_machine, fault_chunk, 0).build();
         let err = train_distributed_supervised(&corpus, 4, &config, Some(&faults))
             .expect_err("zero retries cannot absorb a panic");

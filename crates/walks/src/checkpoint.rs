@@ -274,12 +274,15 @@ impl WalkCheckpoint {
         };
         let seed = cursor.read_u64("seed")?;
         let rounds = cursor.read_u64("rounds")?;
+        // Wire measurements are a deployment property, not part of the
+        // logical trace a checkpoint restores — a recovered run re-measures.
         let comm = CommStats {
             messages: cursor.read_u64("comm.messages")?,
             bytes: cursor.read_u64("comm.bytes")?,
             local_steps: cursor.read_u64("comm.local_steps")?,
             remote_steps: cursor.read_u64("comm.remote_steps")?,
             supersteps: cursor.read_u64("comm.supersteps")?,
+            ..CommStats::new()
         };
         let peak_round_memory = cursor.read_u64("peak_round_memory")?;
 

@@ -1,0 +1,410 @@
+//! The multi-process walk driver: the same round loop as
+//! [`run_distributed_walks`](crate::engine::run_distributed_walks), executed
+//! over a [`Transport`] so the job's machines can live in different OS
+//! processes connected by sockets.
+//!
+//! Every endpoint hosts a contiguous slice of the job's machines
+//! ([`Transport::local_machines`]) and runs the identical per-superstep body
+//! (`walker_step`) over them; supersteps are separated by two collectives —
+//! the global pending check and the message exchange — and rounds end with a
+//! harvest [`gather`](distger_cluster::ControlChannel::gather) to the
+//! coordinator, which assembles the round corpus, runs the convergence check
+//! (Eq. 6–7) and broadcasts continue/stop. Seeding is a pure function of
+//! `(graph, config, round)`, so every endpoint derives its own seed walkers
+//! without any traffic.
+//!
+//! **Bit-identity.** The driver is deliberately a re-arrangement, not a
+//! re-implementation: seeding, stepping, harvesting and the convergence
+//! decision are the exact functions the in-process engine calls, and
+//! [`SocketTransport`] delivers each inbox's messages in the same
+//! ascending-source order as [`InMemoryTransport`](distger_cluster::InMemoryTransport)
+//! — so the corpus, the
+//! communication trace and the entropy trace are bit-for-bit equal to an
+//! in-process run with the same seed, as the `prop_transport` suite asserts
+//! across seeds × machine counts × endpoint counts.
+
+use std::io;
+use std::net::TcpListener;
+use std::time::Duration;
+
+use distger_cluster::wire::{put_u32, put_u64};
+use distger_cluster::{CommStats, Mailbox, Outbox, SocketTransport, Transport, WireReader};
+use distger_graph::{stats::degree_distribution, CsrGraph};
+use distger_partition::Partitioning;
+
+use crate::alias::{NeighborSampler, SamplingBackend, TransitionTables};
+use crate::corpus::Corpus;
+use crate::engine::{
+    assemble_round_corpus, seed_round_inboxes, walker_step, MachineState, RoundSchedule, SegRun,
+    WalkEngineConfig, WalkResult,
+};
+use crate::message::WalkerMessage;
+
+/// One machine's round harvest as decoded on the coordinator: the walker
+/// state the corpus assembly reads, plus the machine's cumulative traffic.
+struct MachineHarvest {
+    state: MachineState,
+    comm: CommStats,
+}
+
+/// Encodes this endpoint's local machines for the round-boundary gather.
+fn encode_harvest(states: &[MachineState], outboxes: &[Outbox<WalkerMessage>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, states.len() as u32);
+    for (state, outbox) in states.iter().zip(outboxes) {
+        put_u32(&mut out, state.seg_nodes.len() as u32);
+        for &node in &state.seg_nodes {
+            put_u32(&mut out, node);
+        }
+        put_u32(&mut out, state.seg_runs.len() as u32);
+        for run in &state.seg_runs {
+            put_u64(&mut out, run.walk_id);
+            put_u32(&mut out, run.start_step);
+            put_u32(&mut out, run.len);
+            put_u64(&mut out, run.offset as u64);
+        }
+        put_u64(&mut out, state.peak_memory_bytes as u64);
+        let stats = outbox.stats();
+        put_u64(&mut out, stats.messages);
+        put_u64(&mut out, stats.bytes);
+        put_u64(&mut out, stats.local_steps);
+        put_u64(&mut out, stats.remote_steps);
+    }
+    out
+}
+
+/// Decodes one endpoint's harvest, appending to the coordinator's
+/// machine-ordered list (endpoints host contiguous ascending machine ranges,
+/// so decoding in endpoint order yields machines `0..m` in order).
+fn decode_harvest(
+    payload: &[u8],
+    freq_backend: crate::freq::FreqBackend,
+    into: &mut Vec<MachineHarvest>,
+) -> io::Result<()> {
+    let mut r = WireReader::new(payload);
+    let machines = r.u32()? as usize;
+    for _ in 0..machines {
+        let mut state = MachineState::new(freq_backend);
+        let nodes = r.u32()? as usize;
+        state.seg_nodes.reserve(nodes.min(r.remaining() / 4 + 1));
+        for _ in 0..nodes {
+            state.seg_nodes.push(r.u32()?);
+        }
+        let runs = r.u32()? as usize;
+        for _ in 0..runs {
+            state.seg_runs.push(SegRun {
+                walk_id: r.u64()?,
+                start_step: r.u32()?,
+                len: r.u32()?,
+                offset: r.u64()? as usize,
+            });
+        }
+        state.peak_memory_bytes = r.u64()? as usize;
+        let comm = CommStats {
+            messages: r.u64()?,
+            bytes: r.u64()?,
+            local_steps: r.u64()?,
+            remote_steps: r.u64()?,
+            ..CommStats::new()
+        };
+        into.push(MachineHarvest { state, comm });
+    }
+    r.finish()
+}
+
+/// Runs the walk round loop over an explicit transport. Every endpoint of
+/// the job must call this with the same graph, partitioning and config (all
+/// three are rebuilt deterministically per process by the launcher, never
+/// shipped). Returns `Some(result)` on the coordinator, `None` on workers.
+///
+/// `config.transport` is ignored — the transport in hand decides.
+///
+/// # Panics
+/// Panics if the partitioning does not cover the graph, if the transport was
+/// built for a different machine count, or if checkpointing/recovery is
+/// enabled (the multi-process driver has no supervised retry loop yet).
+pub fn run_walks_over<T: Transport<WalkerMessage>>(
+    transport: &mut T,
+    graph: &CsrGraph,
+    partitioning: &Partitioning,
+    config: &WalkEngineConfig,
+) -> io::Result<Option<WalkResult>> {
+    assert_eq!(
+        partitioning.num_nodes(),
+        graph.num_nodes(),
+        "partitioning must cover every node"
+    );
+    assert_eq!(
+        partitioning.num_machines(),
+        transport.num_machines(),
+        "transport and partitioning must agree on the machine count"
+    );
+    assert!(
+        !config.checkpoint.is_enabled() && !config.recovery.is_enabled(),
+        "checkpointing and recovery are not supported by the multi-process driver"
+    );
+
+    let n = graph.num_nodes();
+    let num_machines = partitioning.num_machines();
+    let local = transport.local_machines();
+    let is_coordinator = transport.is_coordinator();
+
+    let tables = match config.sampling_backend {
+        SamplingBackend::Alias => Some(TransitionTables::build(graph)),
+        SamplingBackend::LinearScan => None,
+    };
+    let sampler = match &tables {
+        Some(t) => NeighborSampler::Alias(t),
+        None => NeighborSampler::LinearScan,
+    };
+    let step = walker_step(graph, partitioning, config, sampler);
+
+    let mut states: Vec<MachineState> = local
+        .clone()
+        .map(|_| MachineState::new(config.freq_backend))
+        .collect();
+    let mut outboxes: Vec<Outbox<WalkerMessage>> = local
+        .clone()
+        .map(|machine| Outbox::new(machine, num_machines))
+        .collect();
+    let mut inboxes: Vec<Vec<WalkerMessage>> = local.clone().map(|_| Vec::new()).collect();
+
+    // Coordinator-only round-boundary state.
+    let degree_dist = if is_coordinator {
+        degree_distribution(graph)
+    } else {
+        Vec::new()
+    };
+    let mut schedule = RoundSchedule::new(config.walks_per_node);
+    let mut corpus = Corpus::new(n);
+    let mut trace = Vec::new();
+    let mut peak_round_memory = 0usize;
+    let mut final_comm = CommStats::new();
+
+    let mut rounds = 0usize;
+    let mut total_supersteps = 0u64;
+    let mut max_round_supersteps = 0u64;
+
+    loop {
+        // Seed this round: a pure function of (graph, config, round), so
+        // every endpoint computes the full seeding and keeps its local slice.
+        let mut seeds = seed_round_inboxes(graph, partitioning, config, rounds as u64);
+        for (i, machine) in local.clone().enumerate() {
+            inboxes[i].append(&mut seeds[machine]);
+        }
+        drop(seeds);
+
+        let mut round_supersteps = 0u64;
+        loop {
+            let local_pending = inboxes.iter().any(|inbox| !inbox.is_empty());
+            if !transport.sync_pending(local_pending)? {
+                break;
+            }
+            assert!(
+                round_supersteps < config.max_supersteps,
+                "BSP exceeded {} supersteps — runaway walk?",
+                config.max_supersteps
+            );
+            round_supersteps += 1;
+            total_supersteps += 1;
+            for (i, machine) in local.clone().enumerate() {
+                let mailbox = Mailbox {
+                    messages: inboxes[i].drain(..),
+                };
+                step(machine, &mut states[i], mailbox, &mut outboxes[i]);
+            }
+            let mut outbox_refs: Vec<&mut Outbox<WalkerMessage>> = outboxes.iter_mut().collect();
+            let mut inbox_refs: Vec<&mut Vec<WalkerMessage>> = inboxes.iter_mut().collect();
+            transport.exchange(total_supersteps, &mut outbox_refs, &mut inbox_refs)?;
+        }
+        max_round_supersteps = max_round_supersteps.max(round_supersteps);
+
+        // Round boundary: gather every machine's harvest to the coordinator,
+        // which assembles the round corpus and decides continue/stop.
+        let harvest = encode_harvest(&states, &outboxes);
+        let gathered = transport.gather(&harvest)?;
+        let go_on = if is_coordinator {
+            let mut machines = Vec::with_capacity(num_machines);
+            for payload in &gathered {
+                decode_harvest(payload, config.freq_backend, &mut machines)?;
+            }
+            if machines.len() != num_machines {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "harvest covered {} machines, job has {num_machines}",
+                        machines.len()
+                    ),
+                ));
+            }
+            let refs: Vec<&MachineState> = machines.iter().map(|h| &h.state).collect();
+            let (round_corpus, peak_memory_sum) = assemble_round_corpus(&refs, n, rounds as u64);
+            peak_round_memory = peak_round_memory.max(peak_memory_sum);
+            corpus.extend(round_corpus);
+            final_comm = CommStats::new();
+            for harvest in &machines {
+                final_comm.merge(&harvest.comm);
+            }
+            rounds += 1;
+            let go_on = schedule.continue_after(rounds, &corpus, &degree_dist, &mut trace);
+            transport.broadcast(&[u8::from(go_on)])?;
+            go_on
+        } else {
+            rounds += 1;
+            let reply = transport.broadcast(&[])?;
+            match reply.as_slice() {
+                [0] => false,
+                [1] => true,
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad continue/stop byte {other:?}"),
+                    ))
+                }
+            }
+        };
+        for state in &mut states {
+            state.reset_round();
+        }
+        if !go_on {
+            break;
+        }
+    }
+
+    if !is_coordinator {
+        return Ok(None);
+    }
+    final_comm.supersteps = max_round_supersteps;
+    // The coordinator is the hub of the star topology: every frame of the
+    // job passes through it, so its wire counters measure the whole run.
+    final_comm.wire = transport.wire_stats();
+
+    let walker_peak_bytes = peak_round_memory / num_machines.max(1);
+    let corpus_shard_bytes = corpus.memory_bytes() / num_machines.max(1);
+    let (alias_build_secs, alias_table_bytes) = tables
+        .as_ref()
+        .map_or((0.0, 0), |t| (t.build_secs(), t.memory_bytes()));
+    let alias_shard_bytes = alias_table_bytes / num_machines.max(1);
+    Ok(Some(WalkResult {
+        corpus,
+        comm: final_comm,
+        rounds,
+        relative_entropy_trace: trace,
+        walker_peak_bytes,
+        corpus_shard_bytes,
+        alias_build_secs,
+        alias_table_bytes,
+        // The driver hosts its machines sequentially on one thread per
+        // process: no pool, no barrier, so no thread-coordination overhead
+        // to report.
+        superstep_sync_secs: 0.0,
+        pool_spawn_count: 0,
+        avg_machine_memory_bytes: walker_peak_bytes + corpus_shard_bytes + alias_shard_bytes,
+        recovered_rounds: 0,
+        checkpoint_secs: 0.0,
+        checkpoint_bytes: 0,
+    }))
+}
+
+/// Convenience harness: runs [`run_walks_over`] across `endpoints` socket
+/// transports connected over loopback TCP — the coordinator on the calling
+/// thread, one spawned thread per worker endpoint. Real frames, real
+/// sockets, one process; the property tests and the transport-overhead bench
+/// drive exactly this path.
+///
+/// # Panics
+/// Panics on any transport error in any endpoint (the property suite wants
+/// errors loud, not folded into results).
+pub fn run_walks_over_loopback(
+    graph: &CsrGraph,
+    partitioning: &Partitioning,
+    config: &WalkEngineConfig,
+    endpoints: usize,
+) -> WalkResult {
+    assert!(endpoints >= 1, "need at least one endpoint");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let num_machines = partitioning.num_machines();
+    std::thread::scope(|scope| {
+        for worker in 1..endpoints {
+            scope.spawn(move || {
+                let mut transport = SocketTransport::worker(addr, Duration::from_secs(10))
+                    .unwrap_or_else(|err| panic!("worker {worker} handshake failed: {err}"));
+                let result = run_walks_over(&mut transport, graph, partitioning, config)
+                    .unwrap_or_else(|err| panic!("worker {worker} failed: {err}"));
+                assert!(result.is_none(), "only the coordinator returns a result");
+            });
+        }
+        let mut transport = SocketTransport::coordinator(&listener, endpoints, num_machines)
+            .expect("coordinator handshake failed");
+        run_walks_over(&mut transport, graph, partitioning, config)
+            .expect("coordinator failed")
+            .expect("coordinator returns the result")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_distributed_walks;
+    use distger_cluster::InMemoryTransport;
+    use distger_partition::balanced::workload_balanced_partition;
+
+    fn test_graph() -> CsrGraph {
+        distger_graph::barabasi_albert(120, 3, 17)
+    }
+
+    #[test]
+    fn in_memory_transport_driver_matches_classic_engine() {
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 3);
+        let config = WalkEngineConfig::distger().with_seed(5);
+        let classic = run_distributed_walks(&g, &p, &config);
+        let mut transport = InMemoryTransport::new(3);
+        let driven = run_walks_over(&mut transport, &g, &p, &config)
+            .expect("in-memory transport is infallible")
+            .expect("single endpoint is the coordinator");
+        assert_eq!(classic.corpus, driven.corpus);
+        assert_eq!(classic.comm, driven.comm);
+        assert_eq!(classic.rounds, driven.rounds);
+        assert_eq!(
+            classic.relative_entropy_trace,
+            driven.relative_entropy_trace
+        );
+        assert_eq!(classic.walker_peak_bytes, driven.walker_peak_bytes);
+    }
+
+    #[test]
+    fn loopback_socket_run_matches_classic_engine_and_measures_wire_traffic() {
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 4);
+        let config = WalkEngineConfig::distger().with_seed(11);
+        let classic = run_distributed_walks(&g, &p, &config);
+        let socket = run_walks_over_loopback(&g, &p, &config, 3);
+        assert_eq!(classic.corpus, socket.corpus);
+        assert_eq!(classic.comm, socket.comm);
+        assert_eq!(classic.rounds, socket.rounds);
+        assert_eq!(
+            classic.relative_entropy_trace,
+            socket.relative_entropy_trace
+        );
+        // The in-process run never touched a wire; the socket run did, and
+        // its measured batch payloads must be visible in the wire counters.
+        assert_eq!(classic.comm.wire, Default::default());
+        assert!(socket.comm.bytes > 0, "4 machines must exchange walkers");
+        assert!(socket.comm.wire.frames_sent > 0);
+        assert!(socket.comm.wire.batch_bytes_sent > 0);
+        assert!(socket.comm.wire.bytes_sent > socket.comm.wire.batch_bytes_sent);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported by the multi-process driver")]
+    fn driver_rejects_checkpointing() {
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 2);
+        let config = WalkEngineConfig::distger()
+            .with_checkpoint_policy(crate::checkpoint::CheckpointPolicy::every(1));
+        let mut transport = InMemoryTransport::new(2);
+        let _ = run_walks_over(&mut transport, &g, &p, &config);
+    }
+}

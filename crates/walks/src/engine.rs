@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use distger_cluster::{
     run_bsp_round_loop, run_bsp_supervised, run_bsp_with, CommStats, ExecutionBackend,
-    FaultInjector, Mailbox, Outbox, RecoveryExhausted, RecoveryPolicy,
+    FaultInjector, Mailbox, Outbox, RecoveryExhausted, RecoveryPolicy, TransportKind,
 };
 use distger_graph::{stats::degree_distribution, CsrGraph, NodeId};
 use distger_partition::Partitioning;
@@ -86,6 +86,12 @@ pub struct WalkEngineConfig {
     /// checkpoint) before the failure propagates. Disabled by default;
     /// requires [`ExecutionBackend::RoundLoop`].
     pub recovery: RecoveryPolicy,
+    /// How machines talk to each other. [`TransportKind::InMemory`] (the
+    /// default) runs every machine in this process;
+    /// [`TransportKind::Socket`] is served by the multi-process driver
+    /// ([`crate::dist::run_walks_over`]) — [`run_distributed_walks`] rejects
+    /// it, since a single in-process call cannot span process boundaries.
+    pub transport: TransportKind,
     /// Seed for all stochastic choices.
     pub seed: u64,
     /// Safety cap on BSP supersteps per round.
@@ -106,6 +112,7 @@ impl WalkEngineConfig {
             execution: ExecutionBackend::RoundLoop,
             checkpoint: CheckpointPolicy::Disabled,
             recovery: RecoveryPolicy::default(),
+            transport: TransportKind::InMemory,
             seed: 0,
             max_supersteps: 1_000_000,
         }
@@ -124,6 +131,7 @@ impl WalkEngineConfig {
             execution: ExecutionBackend::RoundLoop,
             checkpoint: CheckpointPolicy::Disabled,
             recovery: RecoveryPolicy::default(),
+            transport: TransportKind::InMemory,
             seed: 0,
             max_supersteps: 1_000_000,
         }
@@ -152,6 +160,30 @@ impl WalkEngineConfig {
         self
     }
 
+    /// Builder-style transition-model override.
+    pub fn with_model(mut self, model: WalkModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Builder-style termination-policy override.
+    pub fn with_length(mut self, length: LengthPolicy) -> Self {
+        self.length = length;
+        self
+    }
+
+    /// Builder-style walks-per-node policy override.
+    pub fn with_walks_per_node(mut self, walks_per_node: WalkCountPolicy) -> Self {
+        self.walks_per_node = walks_per_node;
+        self
+    }
+
+    /// Builder-style measurement-mode override.
+    pub fn with_info_mode(mut self, info_mode: InfoMode) -> Self {
+        self.info_mode = info_mode;
+        self
+    }
+
     /// Builder-style frequency-store backend override.
     pub fn with_freq_backend(mut self, backend: FreqBackend) -> Self {
         self.freq_backend = backend;
@@ -165,9 +197,16 @@ impl WalkEngineConfig {
     }
 
     /// Builder-style superstep-execution backend override.
-    pub fn with_execution(mut self, execution: ExecutionBackend) -> Self {
+    pub fn with_execution_backend(mut self, execution: ExecutionBackend) -> Self {
         self.execution = execution;
         self
+    }
+
+    /// Deprecated spelling of [`Self::with_execution_backend`], kept for one
+    /// release so existing callers migrate at their own pace.
+    #[deprecated(since = "0.6.0", note = "renamed to `with_execution_backend`")]
+    pub fn with_execution(self, execution: ExecutionBackend) -> Self {
+        self.with_execution_backend(execution)
     }
 
     /// Builder-style checkpoint-policy override.
@@ -179,6 +218,18 @@ impl WalkEngineConfig {
     /// Builder-style recovery-policy override.
     pub fn with_recovery_policy(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Builder-style transport override.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Builder-style superstep-cap override.
+    pub fn with_max_supersteps(mut self, max_supersteps: u64) -> Self {
+        self.max_supersteps = max_supersteps;
         self
     }
 
@@ -270,28 +321,28 @@ impl WalkResult {
 /// This replaces the seed's per-step `(walk_id, step, node)` triples: a walk
 /// that runs `k` local steps costs one header plus `k` node ids instead of
 /// `k` 16-byte tuples, and corpus assembly moves whole slices.
-struct SegRun {
-    walk_id: u64,
-    start_step: u32,
-    len: u32,
-    offset: usize,
+pub(crate) struct SegRun {
+    pub(crate) walk_id: u64,
+    pub(crate) start_step: u32,
+    pub(crate) len: u32,
+    pub(crate) offset: usize,
 }
 
 /// Per-machine mutable state during a round.
-struct MachineState {
+pub(crate) struct MachineState {
     /// Arena of accepted node ids, in acceptance order.
-    seg_nodes: Vec<NodeId>,
+    pub(crate) seg_nodes: Vec<NodeId>,
     /// One entry per local run, indexing into `seg_nodes`.
-    seg_runs: Vec<SegRun>,
+    pub(crate) seg_runs: Vec<SegRun>,
     /// InCoM local frequency lists: per ongoing walk, the occurrence counts of
     /// nodes local to this machine.
     freq: FreqStore,
     /// Peak memory estimate for this machine during the round.
-    peak_memory_bytes: usize,
+    pub(crate) peak_memory_bytes: usize,
 }
 
 impl MachineState {
-    fn new(backend: FreqBackend) -> Self {
+    pub(crate) fn new(backend: FreqBackend) -> Self {
         Self {
             seg_nodes: Vec::new(),
             seg_runs: Vec::new(),
@@ -330,7 +381,7 @@ impl MachineState {
     /// not released, so this machine's true residency is its peak over the
     /// whole run (see [`WalkResult::walker_peak_bytes`] for how this differs
     /// from the per-round backends' accounting).
-    fn reset_round(&mut self) {
+    pub(crate) fn reset_round(&mut self) {
         self.seg_nodes.clear();
         self.seg_runs.clear();
         self.freq.clear();
@@ -341,13 +392,13 @@ impl MachineState {
 /// convergence controller of Eq. 7. Shared by every execution backend so the
 /// continue/stop decision lives in exactly one piece of code — which is what
 /// makes the backends' round counts (and entropy traces) bit-identical.
-struct RoundSchedule {
+pub(crate) struct RoundSchedule {
     fixed_rounds: Option<usize>,
     controller: Option<WalkCountController>,
 }
 
 impl RoundSchedule {
-    fn new(policy: WalkCountPolicy) -> Self {
+    pub(crate) fn new(policy: WalkCountPolicy) -> Self {
         match policy {
             WalkCountPolicy::Fixed(r) => Self {
                 fixed_rounds: Some(r.max(1)),
@@ -367,7 +418,7 @@ impl RoundSchedule {
     /// Decides, after `completed_rounds` rounds have been harvested into
     /// `corpus`, whether another round runs. Info-driven schedules push the
     /// round's relative entropy `D_r(p‖q)` (Eq. 6) onto `trace`.
-    fn continue_after(
+    pub(crate) fn continue_after(
         &mut self,
         completed_rounds: usize,
         corpus: &Corpus,
@@ -473,6 +524,12 @@ fn run_walks_inner(
         partitioning.num_nodes(),
         graph.num_nodes(),
         "partitioning must cover every node"
+    );
+    assert_eq!(
+        config.transport,
+        TransportKind::InMemory,
+        "run_distributed_walks executes every machine in this process; \
+         socket transports are served by walks::dist::run_walks_over"
     );
     let num_machines = partitioning.num_machines();
     let degree_dist = degree_distribution(graph);
@@ -864,7 +921,7 @@ fn run_per_round(
 /// the machine's delivered walkers, then refresh its memory watermark. One
 /// copy of this closure is what keeps the backends' superstep semantics
 /// identical by construction.
-fn walker_step<'g>(
+pub(crate) fn walker_step<'g>(
     graph: &'g CsrGraph,
     partitioning: &'g Partitioning,
     config: &'g WalkEngineConfig,
@@ -892,7 +949,7 @@ fn walker_step<'g>(
 /// Seeds one round: one fresh walker per source node, delivered to the
 /// machine owning it. Inboxes are pre-sized from the partition's node counts
 /// so the seeding loop never reallocates.
-fn seed_round_inboxes(
+pub(crate) fn seed_round_inboxes(
     graph: &CsrGraph,
     partitioning: &Partitioning,
     config: &WalkEngineConfig,
@@ -931,7 +988,11 @@ fn seed_round_inboxes(
 /// into bucket offsets, scatter run references, then concatenate each walk's
 /// few runs ordered by start step. No per-step tuples, no per-token sort.
 /// Also returns the machine-summed peak transient-memory watermark.
-fn assemble_round_corpus(states: &[&MachineState], n: usize, round: u64) -> (Corpus, usize) {
+pub(crate) fn assemble_round_corpus(
+    states: &[&MachineState],
+    n: usize,
+    round: u64,
+) -> (Corpus, usize) {
     let mut peak_memory_sum = 0usize;
     let mut token_counts = vec![0u32; n];
     let mut run_counts = vec![0u32; n];
@@ -1199,9 +1260,13 @@ mod tests {
         let p = workload_balanced_partition(&g, 4);
         let cfg = WalkEngineConfig::distger().with_seed(9);
         let round_loop = run_distributed_walks(&g, &p, &cfg);
-        let pool = run_distributed_walks(&g, &p, &cfg.with_execution(ExecutionBackend::Pool));
-        let spawn =
-            run_distributed_walks(&g, &p, &cfg.with_execution(ExecutionBackend::SpawnPerStep));
+        let pool =
+            run_distributed_walks(&g, &p, &cfg.with_execution_backend(ExecutionBackend::Pool));
+        let spawn = run_distributed_walks(
+            &g,
+            &p,
+            &cfg.with_execution_backend(ExecutionBackend::SpawnPerStep),
+        );
         for other in [&pool, &spawn] {
             assert_eq!(round_loop.corpus, other.corpus);
             assert_eq!(round_loop.comm, other.comm);
@@ -1226,9 +1291,13 @@ mod tests {
         let p = workload_balanced_partition(&g, 4);
         let cfg = WalkEngineConfig::distger().with_seed(21);
         let round_loop = run_distributed_walks(&g, &p, &cfg);
-        let pool = run_distributed_walks(&g, &p, &cfg.with_execution(ExecutionBackend::Pool));
-        let spawn =
-            run_distributed_walks(&g, &p, &cfg.with_execution(ExecutionBackend::SpawnPerStep));
+        let pool =
+            run_distributed_walks(&g, &p, &cfg.with_execution_backend(ExecutionBackend::Pool));
+        let spawn = run_distributed_walks(
+            &g,
+            &p,
+            &cfg.with_execution_backend(ExecutionBackend::SpawnPerStep),
+        );
         assert!(round_loop.rounds >= 2, "need a multi-round run to compare");
         assert_eq!(round_loop.pool_spawn_count, 4);
         assert_eq!(pool.pool_spawn_count, 4 * pool.rounds as u64);
@@ -1424,8 +1493,50 @@ mod tests {
         let g = test_graph();
         let p = workload_balanced_partition(&g, 2);
         let cfg = WalkEngineConfig::distger()
-            .with_execution(ExecutionBackend::Pool)
+            .with_execution_backend(ExecutionBackend::Pool)
             .with_checkpoint_policy(CheckpointPolicy::every(1));
         run_distributed_walks(&g, &p, &cfg);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_execution_shim_matches_renamed_builder() {
+        let old = WalkEngineConfig::distger().with_execution(ExecutionBackend::Pool);
+        let new = WalkEngineConfig::distger().with_execution_backend(ExecutionBackend::Pool);
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    #[should_panic(expected = "walks::dist::run_walks_over")]
+    fn in_process_entry_point_rejects_socket_transport() {
+        let g = test_graph();
+        let p = workload_balanced_partition(&g, 2);
+        let cfg = WalkEngineConfig::distger().with_transport(TransportKind::Socket);
+        run_distributed_walks(&g, &p, &cfg);
+    }
+
+    #[test]
+    fn builders_cover_every_field() {
+        let cfg = WalkEngineConfig::distger()
+            .with_model(WalkModel::DeepWalk)
+            .with_length(LengthPolicy::routine())
+            .with_walks_per_node(WalkCountPolicy::Fixed(3))
+            .with_info_mode(InfoMode::FullPath)
+            .with_freq_backend(FreqBackend::NestedReference)
+            .with_sampling_backend(SamplingBackend::LinearScan)
+            .with_execution_backend(ExecutionBackend::Pool)
+            .with_transport(TransportKind::Socket)
+            .with_seed(11)
+            .with_max_supersteps(77);
+        assert_eq!(cfg.model, WalkModel::DeepWalk);
+        assert_eq!(cfg.length, LengthPolicy::routine());
+        assert_eq!(cfg.walks_per_node, WalkCountPolicy::Fixed(3));
+        assert_eq!(cfg.info_mode, InfoMode::FullPath);
+        assert_eq!(cfg.freq_backend, FreqBackend::NestedReference);
+        assert_eq!(cfg.sampling_backend, SamplingBackend::LinearScan);
+        assert_eq!(cfg.execution, ExecutionBackend::Pool);
+        assert_eq!(cfg.transport, TransportKind::Socket);
+        assert_eq!(cfg.seed, 11);
+        assert_eq!(cfg.max_supersteps, 77);
     }
 }

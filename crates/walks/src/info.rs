@@ -163,6 +163,23 @@ impl FullPathInfo {
         &self.path
     }
 
+    /// The running moments (shipped on the wire alongside the path so a
+    /// decoded walker resumes with bit-identical measurement state —
+    /// replaying [`Self::accept`] would recompute the entropy sum in a fresh
+    /// `HashMap` iteration order and is therefore not bit-stable).
+    pub(crate) fn moments(&self) -> InfoMoments {
+        self.moments
+    }
+
+    /// Rebuilds the measurement from wire fields (see [`Self::moments`]).
+    pub(crate) fn from_wire_parts(path: Vec<NodeId>, entropy: f64, moments: InfoMoments) -> Self {
+        Self {
+            path,
+            moments,
+            entropy,
+        }
+    }
+
     /// Current walk length.
     pub fn length(&self) -> u64 {
         self.path.len() as u64

@@ -40,6 +40,7 @@
 pub mod alias;
 pub mod checkpoint;
 pub mod corpus;
+pub mod dist;
 pub mod engine;
 pub mod freq;
 pub mod info;
@@ -50,15 +51,18 @@ pub mod rng;
 pub use alias::{NeighborSampler, SamplingBackend, TransitionTables};
 pub use checkpoint::{CheckpointPolicy, WalkCheckpoint};
 pub use corpus::{Corpus, CorpusShard};
+pub use dist::{run_walks_over, run_walks_over_loopback};
 pub use engine::{
     run_distributed_walks, run_distributed_walks_supervised, InfoMode, WalkEngineConfig, WalkResult,
 };
 pub use freq::{FlatFreqStore, FreqBackend, NestedFreqStore};
 pub use models::{LengthPolicy, WalkCountPolicy, WalkModel};
 
-/// Re-exports of the BSP execution / fault-tolerance knobs so walk-engine
-/// callers can configure [`WalkEngineConfig`] without depending on
-/// `distger-cluster` directly.
+/// Re-exports of the BSP execution / fault-tolerance knobs — and the
+/// transport layer — so walk-engine callers can configure
+/// [`WalkEngineConfig`] and drive [`dist::run_walks_over`] without depending
+/// on `distger-cluster` directly.
 pub use distger_cluster::{
-    ExecutionBackend, FaultInjector, FaultPlan, RecoveryExhausted, RecoveryPolicy,
+    ExecutionBackend, FaultInjector, FaultPlan, InMemoryTransport, RecoveryExhausted,
+    RecoveryPolicy, SocketTransport, Transport, TransportKind,
 };

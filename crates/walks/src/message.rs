@@ -10,8 +10,11 @@
 //! * InCoM walkers: header plus `H, L, E(H), E(L), E(HL), E(H²), E(L²)` →
 //!   **80 B**, independent of the walk length.
 
-use crate::info::{FullPathInfo, IncrementalInfo};
-use distger_cluster::MessageSize;
+use std::io;
+
+use crate::info::{FullPathInfo, IncrementalInfo, InfoMoments};
+use distger_cluster::wire::{put_f64, put_u32, put_u64, put_u8};
+use distger_cluster::{MessageSize, Wire, WireReader};
 use distger_graph::NodeId;
 
 /// The information-measurement payload carried by a walker.
@@ -57,6 +60,121 @@ impl MessageSize for WalkerMessage {
             // [walker_id, steps, node_id, H, L, E(H), E(L), E(HL), E(H²), E(L²)]
             InfoPayload::Incremental(_) => 80,
         }
+    }
+}
+
+// Info-payload discriminants on the wire.
+const INFO_NONE: u8 = 0;
+const INFO_FULL_PATH: u8 = 1;
+const INFO_INCREMENTAL: u8 = 2;
+
+fn put_moments(out: &mut Vec<u8>, m: &InfoMoments) {
+    put_u64(out, m.points);
+    put_f64(out, m.e_h);
+    put_f64(out, m.e_l);
+    put_f64(out, m.e_hl);
+    put_f64(out, m.e_h2);
+    put_f64(out, m.e_l2);
+}
+
+fn read_moments(r: &mut WireReader<'_>) -> io::Result<InfoMoments> {
+    Ok(InfoMoments {
+        points: r.u64()?,
+        e_h: r.f64()?,
+        e_l: r.f64()?,
+        e_hl: r.f64()?,
+        e_h2: r.f64()?,
+        e_l2: r.f64()?,
+    })
+}
+
+/// The socket wire form of a walker. Floats travel as exact bit patterns and
+/// the full-path measurement ships its running moments instead of replaying
+/// `accept` on decode (whose entropy re-summation is not bit-stable), so a
+/// decoded walker is indistinguishable from one that never left the process —
+/// the bit-identity guarantee the cross-transport property tests assert.
+impl Wire for WalkerMessage {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.walk_id);
+        put_u32(out, self.step);
+        put_u32(out, self.cur);
+        match self.prev {
+            Some(prev) => {
+                put_u8(out, 1);
+                put_u32(out, prev);
+            }
+            None => put_u8(out, 0),
+        }
+        put_u64(out, self.rng_state);
+        match &self.info {
+            InfoPayload::None => put_u8(out, INFO_NONE),
+            InfoPayload::FullPath(fp) => {
+                put_u8(out, INFO_FULL_PATH);
+                put_f64(out, fp.entropy());
+                put_moments(out, &fp.moments());
+                let path = fp.path();
+                put_u32(out, path.len() as u32);
+                for &node in path {
+                    put_u32(out, node);
+                }
+            }
+            InfoPayload::Incremental(inc) => {
+                put_u8(out, INFO_INCREMENTAL);
+                put_f64(out, inc.entropy());
+                put_u64(out, inc.length());
+                put_moments(out, &inc.moments());
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> io::Result<Self> {
+        let walk_id = r.u64()?;
+        let step = r.u32()?;
+        let cur = r.u32()?;
+        let prev = match r.u8()? {
+            0 => None,
+            1 => Some(r.u32()?),
+            flag => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad prev-node flag {flag}"),
+                ))
+            }
+        };
+        let rng_state = r.u64()?;
+        let info = match r.u8()? {
+            INFO_NONE => InfoPayload::None,
+            INFO_FULL_PATH => {
+                let entropy = r.f64()?;
+                let moments = read_moments(r)?;
+                let len = r.u32()? as usize;
+                let mut path = Vec::with_capacity(len.min(r.remaining() / 4 + 1));
+                for _ in 0..len {
+                    path.push(r.u32()?);
+                }
+                InfoPayload::FullPath(FullPathInfo::from_wire_parts(path, entropy, moments))
+            }
+            INFO_INCREMENTAL => {
+                let entropy = r.f64()?;
+                let length = r.u64()?;
+                let moments = read_moments(r)?;
+                InfoPayload::Incremental(IncrementalInfo::from_parts(entropy, length, moments))
+            }
+            tag => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown info-payload tag {tag}"),
+                ))
+            }
+        };
+        Ok(WalkerMessage {
+            walk_id,
+            step,
+            cur,
+            prev,
+            rng_state,
+            info,
+        })
     }
 }
 
@@ -112,5 +230,73 @@ mod tests {
         assert_eq!(huge_d, 664);
         let ratio = huge_d as f64 / incom as f64;
         assert!((ratio - 8.3).abs() < 0.01);
+    }
+
+    /// Roundtrip check via re-encoding: `WalkerMessage` holds floats, so the
+    /// NaN-safe equality is "the decoded value encodes to the same bytes".
+    fn assert_roundtrips(msg: &WalkerMessage) {
+        let bytes = msg.encode();
+        let mut r = WireReader::new(&bytes);
+        let decoded = WalkerMessage::decode(&mut r).expect("decodes");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn wire_roundtrip_all_payload_kinds() {
+        assert_roundtrips(&base_message(InfoPayload::None));
+        let mut msg = base_message(InfoPayload::None);
+        msg.prev = None;
+        assert_roundtrips(&msg);
+        assert_roundtrips(&base_message(InfoPayload::Incremental(
+            IncrementalInfo::default(),
+        )));
+        let mut inc = IncrementalInfo::start();
+        inc.accept(0);
+        inc.accept(1);
+        assert_roundtrips(&base_message(InfoPayload::Incremental(inc)));
+        assert_roundtrips(&base_message(
+            InfoPayload::FullPath(FullPathInfo::default()),
+        ));
+        let mut fp = FullPathInfo::start(3);
+        for v in [1, 4, 1, 5] {
+            fp.accept(v);
+        }
+        assert_roundtrips(&base_message(InfoPayload::FullPath(fp)));
+    }
+
+    #[test]
+    fn decoded_full_path_measurement_is_bit_identical() {
+        let mut fp = FullPathInfo::start(2);
+        for v in [7, 1, 8, 2, 8] {
+            fp.accept(v);
+        }
+        let msg = base_message(InfoPayload::FullPath(fp.clone()));
+        let bytes = msg.encode();
+        let decoded = WalkerMessage::decode(&mut WireReader::new(&bytes)).unwrap();
+        let InfoPayload::FullPath(back) = decoded.info else {
+            panic!("payload kind changed on the wire");
+        };
+        assert_eq!(back.path(), fp.path());
+        assert_eq!(back.entropy().to_bits(), fp.entropy().to_bits());
+        assert_eq!(back.r_squared().to_bits(), fp.r_squared().to_bits());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_walker_bytes_error_never_panic() {
+        let mut fp = FullPathInfo::start(0);
+        fp.accept(9);
+        let bytes = base_message(InfoPayload::FullPath(fp)).encode();
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            assert!(WalkerMessage::decode(&mut r).is_err(), "cut at {cut}");
+        }
+        // Bad discriminants are rejected, not mapped to a default.
+        let mut bad_flag = bytes.clone();
+        bad_flag[16] = 7; // prev-node flag
+        assert!(WalkerMessage::decode(&mut WireReader::new(&bad_flag)).is_err());
+        let mut bad_tag = bytes;
+        bad_tag[29] = 9; // info tag (8 + 4 + 4 + 1 + 4 + 8 = byte 29)
+        assert!(WalkerMessage::decode(&mut WireReader::new(&bad_tag)).is_err());
     }
 }

@@ -124,6 +124,7 @@ proptest! {
                 local_steps: counters[2],
                 remote_steps: counters[3],
                 supersteps: counters[4],
+                ..CommStats::new()
             },
             peak_round_memory: peak,
             trace,

@@ -180,11 +180,12 @@ proptest! {
         .with_seed(seed);
         let round_loop = run_distributed_walks(&g, &p, &base); // the default
         prop_assert_eq!(base.execution, ExecutionBackend::RoundLoop);
-        let pool = run_distributed_walks(&g, &p, &base.with_execution(ExecutionBackend::Pool));
+        let pool =
+            run_distributed_walks(&g, &p, &base.with_execution_backend(ExecutionBackend::Pool));
         let spawn = run_distributed_walks(
             &g,
             &p,
-            &base.with_execution(ExecutionBackend::SpawnPerStep),
+            &base.with_execution_backend(ExecutionBackend::SpawnPerStep),
         );
         for other in [&pool, &spawn] {
             prop_assert_eq!(&round_loop.corpus, &other.corpus);

@@ -6,7 +6,7 @@
 use distger::prelude::*;
 
 fn main() {
-    let graph = distger::graph::powerlaw_cluster(2_000, 6, 0.6, 42);
+    let graph = powerlaw_cluster(2_000, 6, 0.6, 42);
     let split = split_edges(&graph, 0.5, 7);
     println!(
         "graph: {} nodes, {} edges ({} train / {} test)",

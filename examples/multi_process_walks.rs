@@ -1,0 +1,83 @@
+//! Multi-process walk→train run over loopback TCP.
+//!
+//! The example re-executes itself as four worker *processes* (`--worker
+//! <addr>`), each connecting a [`SocketTransport`] back to the coordinator.
+//! Every superstep's message batches and every training synchronization
+//! cross real OS sockets, and the coordinator reports the traffic it
+//! *measured* on the wire next to the [`NetworkModel`]'s analytic estimate.
+//!
+//! Run with: `cargo run --release --example multi_process_walks`
+
+use std::net::TcpListener;
+use std::process::Command;
+use std::time::Duration;
+
+use distger::prelude::*;
+
+const WORKERS: usize = 3; // + the coordinator = 4 processes
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 3 && args[1] == "--worker" {
+        let addr = args[2].parse().expect("worker address");
+        run_worker(addr, Duration::from_secs(30)).expect("worker run");
+        return;
+    }
+
+    let spec = JobSpec {
+        graph_nodes: 2_000,
+        machines: 4,
+        seed: 7,
+        ..JobSpec::default()
+    };
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+    let addr = listener.local_addr().expect("listener address");
+    let exe = std::env::current_exe().expect("own executable path");
+    let children: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            Command::new(&exe)
+                .arg("--worker")
+                .arg(addr.to_string())
+                .spawn()
+                .expect("spawn worker process")
+        })
+        .collect();
+
+    let report = run_coordinator(&listener, WORKERS, &spec).expect("coordinator run");
+    for mut child in children {
+        let status = child.wait().expect("join worker process");
+        assert!(status.success(), "worker process failed: {status}");
+    }
+
+    println!(
+        "== {} walk machines across {} processes over {} ==",
+        spec.machines,
+        WORKERS + 1,
+        addr
+    );
+    println!(
+        "corpus: {} tokens in {} rounds; trained {} pairs -> {} x {} embeddings",
+        report.walk.corpus.total_tokens(),
+        report.walk.rounds,
+        report.train_stats.pairs_processed,
+        report.embeddings.num_nodes(),
+        report.embeddings.dim(),
+    );
+
+    // Measured on the wire (frame headers included) vs the analytic model
+    // the simulated cluster prices traffic with.
+    let estimate = NetworkModel::paper_testbed().comm_time_secs(&report.walk.comm);
+    println!(
+        "walk batches: {} estimated bytes, {} measured on the wire",
+        report.walk.comm.bytes, report.walk.comm.wire.batch_bytes_sent,
+    );
+    println!(
+        "whole run: {} frames, {} bytes, {:.3} ms measured; model estimate {:.3} ms",
+        report.wire.frames_sent,
+        report.wire.bytes_sent,
+        report.wire.wire_secs() * 1e3,
+        estimate * 1e3,
+    );
+    assert!(report.wire.batch_bytes_sent > 0, "wire must be measured");
+}

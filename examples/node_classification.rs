@@ -11,7 +11,7 @@ use distger::prelude::*;
 fn main() {
     // Labelled graph: 12 communities of ~60 nodes, ~30% of the nodes carry a
     // second label (multi-label setting, like Flickr/YouTube in the paper).
-    let labeled = distger::graph::planted_partition(720, 12, 0.12, 0.004, 0.3, 11);
+    let labeled = planted_partition(720, 12, 0.12, 0.004, 0.3, 11);
     let graph = &labeled.graph;
     println!(
         "graph: {} nodes, {} edges, {} labels",

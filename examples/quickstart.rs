@@ -9,7 +9,7 @@ fn main() {
     // 1. A graph. Real edge lists can be loaded with
     //    `distger::graph::io::load_edge_list`; here we generate a power-law
     //    cluster graph standing in for a small social network.
-    let graph = distger::graph::powerlaw_cluster(2_000, 6, 0.6, 42);
+    let graph = powerlaw_cluster(2_000, 6, 0.6, 42);
     println!(
         "graph: {} nodes, {} edges, max degree {}",
         graph.num_nodes(),

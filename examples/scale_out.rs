@@ -8,7 +8,7 @@
 use distger::prelude::*;
 
 fn main() {
-    let graph = distger::graph::generate::PaperDataset::LiveJournal.generate(0.25, 5);
+    let graph = PaperDataset::LiveJournal.generate(0.25, 5);
     println!(
         "LiveJournal stand-in: {} nodes, {} edges",
         graph.num_nodes(),

@@ -5,13 +5,11 @@
 //!
 //! Run with: `cargo run --release --example serve_queries`
 
-use distger::embed::Embeddings;
-use distger::eval::recall_at_k;
 use distger::prelude::*;
 
 fn main() {
     // 1. Train: the full DistGER pipeline on a simulated 4-machine cluster.
-    let graph = distger::graph::powerlaw_cluster(2_000, 6, 0.6, 42);
+    let graph = powerlaw_cluster(2_000, 6, 0.6, 42);
     let mut config = DistGerConfig::distger(4).with_seed(7);
     config.training.dim = 64;
     config.training.epochs = 2;

@@ -1,0 +1,113 @@
+//! `distger-node` — the multi-process cluster node.
+//!
+//! One binary, two roles:
+//!
+//! ```text
+//! distger-node coordinator --bind 127.0.0.1:7070 --workers 3 \
+//!     [--nodes 300] [--machines 4] [--seed 7]
+//! distger-node worker --connect 127.0.0.1:7070 [--timeout-secs 30]
+//! ```
+//!
+//! The coordinator accepts `--workers` TCP connections, broadcasts the job
+//! spec, and drives the walk→train pipeline; each worker connects, receives
+//! the spec, and serves its share of machines. See
+//! `examples/multi_process_walks.rs` for a self-contained launch.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use distger::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  distger-node coordinator --bind <addr> --workers <n> \
+         [--nodes <n>] [--machines <n>] [--seed <n>]\n  \
+         distger-node worker --connect <addr> [--timeout-secs <n>]"
+    );
+    ExitCode::FAILURE
+}
+
+/// Pulls the value following `flag` out of `args`, parsed as `T`.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value for {flag}")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("worker") => {
+            let addr = flag_value(&args, "--connect")?.ok_or("worker needs --connect <addr>")?;
+            let timeout = flag_value(&args, "--timeout-secs")?.unwrap_or(30u64);
+            run_worker(addr, Duration::from_secs(timeout)).map_err(|e| format!("worker: {e}"))
+        }
+        Some("coordinator") => {
+            let bind: String =
+                flag_value(&args, "--bind")?.ok_or("coordinator needs --bind <addr>")?;
+            let workers: usize =
+                flag_value(&args, "--workers")?.ok_or("coordinator needs --workers <n>")?;
+            let mut spec = JobSpec::default();
+            if let Some(nodes) = flag_value(&args, "--nodes")? {
+                spec.graph_nodes = nodes;
+            }
+            if let Some(machines) = flag_value(&args, "--machines")? {
+                spec.machines = machines;
+            }
+            if let Some(seed) = flag_value(&args, "--seed")? {
+                spec.seed = seed;
+            }
+            let listener = TcpListener::bind(&bind).map_err(|e| format!("bind {bind}: {e}"))?;
+            println!(
+                "coordinator on {}: waiting for {workers} worker(s)",
+                listener.local_addr().map_err(|e| e.to_string())?
+            );
+            let report =
+                run_coordinator(&listener, workers, &spec).map_err(|e| format!("run: {e}"))?;
+            print_report(&spec, workers, &report);
+            Ok(())
+        }
+        _ => Err(String::new()),
+    }
+}
+
+fn print_report(spec: &JobSpec, workers: usize, report: &LaunchReport) {
+    println!(
+        "walked {} tokens in {} rounds over {} machines on {} process(es)",
+        report.walk.corpus.total_tokens(),
+        report.walk.rounds,
+        spec.machines,
+        workers + 1,
+    );
+    println!(
+        "trained {} pairs -> {} x {} embeddings",
+        report.train_stats.pairs_processed,
+        report.embeddings.num_nodes(),
+        report.embeddings.dim(),
+    );
+    println!(
+        "wire: {} frames, {} payload bytes ({} walk-batch bytes), {:.3} ms on the wire",
+        report.wire.frames_sent,
+        report.wire.bytes_sent,
+        report.wire.batch_bytes_sent,
+        report.wire.wire_secs() * 1e3,
+    );
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => usage(),
+        Err(msg) => {
+            eprintln!("distger-node: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -49,24 +49,40 @@ pub use distger_serve as serve;
 pub use distger_walks as walks;
 
 /// The most commonly used types, importable with `use distger::prelude::*`.
+///
+/// Covers the whole surface an application touches: graph generation,
+/// configuration builders, the in-process pipeline, the multi-process
+/// launcher and its transport layer, and the serving/evaluation front ends —
+/// the bundled `examples/` compile against this module alone.
 pub mod prelude {
-    pub use distger_cluster::{ClusterConfig, CommStats, NetworkModel, PhaseTimes};
-    pub use distger_core::{
-        run_pipeline, run_system, DistGerConfig, PartitionerChoice, PipelineResult, RunScale,
-        SystemKind,
+    pub use distger_cluster::{
+        ClusterConfig, CommStats, ControlChannel, ExecutionBackend, InMemoryTransport,
+        NetworkModel, PhaseTimes, RecoveryPolicy, SocketTransport, Transport, TransportKind,
+        WireStats,
     };
-    pub use distger_embed::{Embeddings, SyncStrategy, TrainerConfig, TrainerKind};
+    pub use distger_core::{
+        launch_over_loopback, run_coordinator, run_pipeline, run_system, run_worker, DistGerConfig,
+        JobSpec, LaunchReport, PartitionerChoice, PipelineResult, RunScale, SystemKind,
+    };
+    pub use distger_embed::{
+        train_distributed, train_distributed_over, train_distributed_over_loopback, Embeddings,
+        SyncStrategy, TrainerConfig, TrainerKind,
+    };
     pub use distger_eval::{
         evaluate_classification, evaluate_link_prediction, recall_at_k, split_edges,
     };
-    pub use distger_graph::{CsrGraph, GraphBuilder, NodeId};
+    pub use distger_graph::{
+        barabasi_albert, community_powerlaw, generate::PaperDataset, planted_partition,
+        powerlaw_cluster, CsrGraph, GraphBuilder, NodeId,
+    };
     pub use distger_partition::{MpgpConfig, Partitioning, StreamingOrder};
     pub use distger_serve::{
         BatchPolicy, EmbeddingIndex, LshConfig, QueryBackend, QueryBatch, QueryEngine,
         RequestClient, Scheduler, SchedulerConfig, ServeConfig, TopK,
     };
     pub use distger_walks::{
-        run_distributed_walks, Corpus, InfoMode, LengthPolicy, SamplingBackend, WalkCountPolicy,
-        WalkEngineConfig, WalkModel,
+        run_distributed_walks, run_walks_over, run_walks_over_loopback, CheckpointPolicy, Corpus,
+        FreqBackend, InfoMode, LengthPolicy, SamplingBackend, WalkCountPolicy, WalkEngineConfig,
+        WalkModel, WalkResult,
     };
 }
