@@ -14,7 +14,6 @@
 use std::time::Instant;
 
 use distger_bench::{bench_dataset, labelled_dataset, BenchScale, Report};
-use distger_cluster::Stopwatch;
 use distger_core::{
     baselines::{run_gnn_like, run_pbg_like, GnnLikeConfig, PbgLikeConfig},
     run_pipeline, run_system, DistGerConfig, RunScale, SystemKind,
@@ -23,6 +22,7 @@ use distger_embed::{train_distributed, SyncStrategy, TrainerConfig, TrainerKind}
 use distger_eval::{evaluate_classification, evaluate_link_prediction, split_edges};
 use distger_graph::generate::PaperDataset;
 use distger_graph::{rmat, GraphStats};
+use distger_obs::Stopwatch;
 use distger_partition::{
     balanced::workload_balanced_partition,
     fennel::{fennel_partition, FennelConfig},

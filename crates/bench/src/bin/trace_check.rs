@@ -1,0 +1,176 @@
+//! CI well-formedness check for an exported Chrome trace-event file.
+//!
+//! Parses the JSON written by `--trace-out` (the `distger-node` binary or the
+//! `multi_process_walks` example) and fails (exit code 1) unless:
+//!
+//! * the file is valid JSON with a `traceEvents` array of events that carry
+//!   `name` / `ph` / `ts` / `pid` / `tid`;
+//! * events come from at least `min_pids` distinct processes (the
+//!   multi-process smoke run must merge all four endpoints' timelines);
+//! * per `(pid, tid)` timeline, every `B` (begin) event is matched by an `E`
+//!   (end) of the same span name, properly nested, with no dangling opens;
+//! * per `(pid, tid)` timeline, timestamps never decrease (each thread's
+//!   ring records a strictly monotonic clock, and the constant per-process
+//!   offset applied by the merge preserves the order).
+//!
+//! ```sh
+//! cargo run --release --example multi_process_walks -- --trace-out trace.json
+//! cargo run -p distger-bench --release --bin trace_check trace.json 4
+//! ```
+
+use distger_bench::json::Value;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn check(text: &str, min_pids: usize) -> Result<(), String> {
+    let root = Value::parse(text).map_err(|e| format!("malformed JSON: {e}"))?;
+    let events = root["traceEvents"]
+        .as_array()
+        .ok_or("missing traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+
+    let mut pids: Vec<i64> = Vec::new();
+    let mut stacks: HashMap<(i64, i64), Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<(i64, i64), f64> = HashMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let name = event["name"]
+            .as_str()
+            .ok_or(format!("event {i}: missing name"))?;
+        let ph = event["ph"]
+            .as_str()
+            .ok_or(format!("event {i}: missing ph"))?;
+        let ts = event["ts"]
+            .as_f64()
+            .ok_or(format!("event {i}: missing ts"))?;
+        let pid = event["pid"]
+            .as_f64()
+            .ok_or(format!("event {i}: missing pid"))? as i64;
+        let tid = event["tid"]
+            .as_f64()
+            .ok_or(format!("event {i}: missing tid"))? as i64;
+        if !pids.contains(&pid) {
+            pids.push(pid);
+        }
+        let thread = (pid, tid);
+        if let Some(&prev) = last_ts.get(&thread) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i} ({name}): ts {ts} before {prev} on pid {pid} tid {tid}"
+                ));
+            }
+        }
+        last_ts.insert(thread, ts);
+        let stack = stacks.entry(thread).or_default();
+        match ph {
+            "B" => stack.push(name.to_string()),
+            "E" => match stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: end of '{name}' closes '{open}' on pid {pid} tid {tid}"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: end of '{name}' without a begin on pid {pid} tid {tid}"
+                    ))
+                }
+            },
+            "i" => {}
+            other => return Err(format!("event {i} ({name}): unknown phase '{other}'")),
+        }
+    }
+    for ((pid, tid), stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "span '{open}' on pid {pid} tid {tid} never ended ({} dangling)",
+                stack.len()
+            ));
+        }
+    }
+    if pids.len() < min_pids {
+        return Err(format!(
+            "trace covers {} process(es) {pids:?}, expected at least {min_pids}",
+            pids.len()
+        ));
+    }
+    println!(
+        "trace_check: {} events from {} process(es), {} thread timeline(s), all spans matched",
+        events.len(),
+        pids.len(),
+        stacks.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <trace.json> [min_pids]");
+        return ExitCode::FAILURE;
+    };
+    let min_pids = match args.next().map(|s| s.parse::<usize>()) {
+        None => 1,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("trace_check: min_pids must be an integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&text, min_pids) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("trace_check: {path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check;
+
+    #[test]
+    fn accepts_a_well_formed_two_process_trace() {
+        let text = r#"{"traceEvents":[
+            {"name":"round","ph":"B","ts":10,"pid":0,"tid":0},
+            {"name":"exchange","ph":"B","ts":11,"pid":0,"tid":0},
+            {"name":"exchange","ph":"E","ts":12,"pid":0,"tid":0},
+            {"name":"round","ph":"E","ts":13,"pid":0,"tid":0},
+            {"name":"fault_delay","ph":"i","ts":5,"pid":1,"tid":0},
+            {"name":"round","ph":"B","ts":6,"pid":1,"tid":0},
+            {"name":"round","ph":"E","ts":9,"pid":1,"tid":0}
+        ]}"#;
+        check(text, 2).expect("well-formed trace");
+    }
+
+    #[test]
+    fn rejects_dangling_interleaved_and_backward_traces() {
+        let dangling = r#"{"traceEvents":[{"name":"round","ph":"B","ts":1,"pid":0,"tid":0}]}"#;
+        assert!(check(dangling, 1).unwrap_err().contains("never ended"));
+        let crossed = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":0,"tid":0},
+            {"name":"b","ph":"B","ts":2,"pid":0,"tid":0},
+            {"name":"a","ph":"E","ts":3,"pid":0,"tid":0}
+        ]}"#;
+        assert!(check(crossed, 1).unwrap_err().contains("closes"));
+        let backward = r#"{"traceEvents":[
+            {"name":"a","ph":"i","ts":5,"pid":0,"tid":0},
+            {"name":"b","ph":"i","ts":4,"pid":0,"tid":0}
+        ]}"#;
+        assert!(check(backward, 1).unwrap_err().contains("before"));
+        let too_few = r#"{"traceEvents":[{"name":"a","ph":"i","ts":1,"pid":0,"tid":0}]}"#;
+        assert!(check(too_few, 4)
+            .unwrap_err()
+            .contains("expected at least 4"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property test of trace-export well-formedness (ISSUE 9): for randomized
+//! pipeline runs with tracing enabled, the exported Chrome trace-event JSON
+//! must always be well-formed — valid JSON under the repo's own parser,
+//! every `B` (begin) matched by a properly nested `E` (end) of the same name
+//! on its `(pid, tid)` timeline, and strictly monotonic per-thread
+//! timestamps.
+//!
+//! This file holds *only* tracing tests: the tracing flag is process-global,
+//! so sharing a test binary with tests that assume tracing-off would race
+//! under the parallel test runner. Proptest runs its cases sequentially
+//! within the one `#[test]`, and every case drains the rings before and
+//! after itself.
+
+use distger_bench::json::Value;
+use distger_core::{launch_over_loopback, run_pipeline, DistGerConfig, JobSpec};
+use distger_graph::barabasi_albert;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The tracing flag and the ring registry are process-global, and the two
+/// `#[test]` functions below run on parallel test threads: each case takes
+/// this lock so one test's `drain_all` never steals the other's in-flight
+/// events.
+static TRACING: Mutex<()> = Mutex::new(());
+
+/// Asserts the well-formedness properties over an exported trace string.
+fn assert_well_formed(json: &str, context: &str) {
+    let root = Value::parse(json).unwrap_or_else(|e| panic!("{context}: invalid JSON: {e}"));
+    let events = root["traceEvents"]
+        .as_array()
+        .unwrap_or_else(|| panic!("{context}: missing traceEvents"));
+    assert!(!events.is_empty(), "{context}: no events recorded");
+
+    let mut stacks: HashMap<(i64, i64), Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<(i64, i64), f64> = HashMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let name = event["name"]
+            .as_str()
+            .unwrap_or_else(|| panic!("{context}: event {i} has no name"));
+        let ph = event["ph"]
+            .as_str()
+            .unwrap_or_else(|| panic!("{context}: event {i} has no ph"));
+        let ts = event["ts"]
+            .as_f64()
+            .unwrap_or_else(|| panic!("{context}: event {i} has no ts"));
+        let pid = event["pid"].as_f64().expect("pid") as i64;
+        let tid = event["tid"].as_f64().expect("tid") as i64;
+        let thread = (pid, tid);
+        if let Some(&prev) = last_ts.get(&thread) {
+            assert!(
+                ts > prev,
+                "{context}: event {i} ({name}) ts {ts} not strictly after {prev} \
+                 on pid {pid} tid {tid}"
+            );
+        }
+        last_ts.insert(thread, ts);
+        let stack = stacks.entry(thread).or_default();
+        match ph {
+            "B" => stack.push(name.to_string()),
+            "E" => {
+                let open = stack
+                    .pop()
+                    .unwrap_or_else(|| panic!("{context}: event {i} ends '{name}' with no begin"));
+                assert_eq!(
+                    open, name,
+                    "{context}: event {i} ends '{name}' but '{open}' is open"
+                );
+            }
+            "i" => {}
+            other => panic!("{context}: event {i} has unknown phase '{other}'"),
+        }
+    }
+    for ((pid, tid), stack) in &stacks {
+        assert!(
+            stack.is_empty(),
+            "{context}: pid {pid} tid {tid} left spans open: {stack:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// In-process pipeline runs of random shape always export a well-formed
+    /// trace, and the rings drain to empty afterwards.
+    #[test]
+    fn pipeline_trace_export_is_well_formed(
+        seed in 0u64..1_000,
+        machines in 1usize..5,
+        nodes in 80usize..200,
+    ) {
+        let _guard = TRACING.lock().unwrap_or_else(|e| e.into_inner());
+        distger_obs::drain_all();
+        distger_obs::set_tracing(true);
+        let graph = barabasi_albert(nodes, 3, seed);
+        let config = DistGerConfig::distger(machines).small().with_seed(seed);
+        let result = run_pipeline(&graph, &config);
+        distger_obs::set_tracing(false);
+        let events = distger_obs::drain_all();
+        prop_assert!(result.corpus_tokens > 0);
+        let json = distger_obs::chrome_trace_json(&events);
+        assert_well_formed(&json, &format!("pipeline seed={seed} machines={machines}"));
+        prop_assert!(distger_obs::drain_all().is_empty(), "rings must drain to empty");
+    }
+
+    /// Multi-endpoint loopback launches (the cross-process merge path:
+    /// workers ship event batches through `gather_trace_events`, the
+    /// coordinator absorbs them) always produce a well-formed merged trace
+    /// covering every endpoint.
+    #[test]
+    fn merged_loopback_trace_is_well_formed(
+        seed in 0u64..1_000,
+        workers in 1usize..4,
+    ) {
+        let _guard = TRACING.lock().unwrap_or_else(|e| e.into_inner());
+        distger_obs::drain_all();
+        let spec = JobSpec {
+            graph_nodes: 120,
+            machines: 4,
+            seed,
+            trace: true,
+            ..JobSpec::default()
+        };
+        let report = launch_over_loopback(&spec, workers);
+        distger_obs::set_tracing(false);
+        distger_obs::drain_all();
+        let mut pids: Vec<u32> = report.trace.iter().map(|e| e.pid).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        prop_assert_eq!(
+            pids.len(),
+            workers + 1,
+            "merged trace must cover every endpoint"
+        );
+        let json = distger_obs::chrome_trace_json(&report.trace);
+        assert_well_formed(&json, &format!("loopback seed={seed} workers={workers}"));
+    }
+}

@@ -103,13 +103,17 @@ pub struct BspOutcome<S> {
     pub comm: CommStats,
     /// Number of supersteps executed.
     pub supersteps: u64,
-    /// Wall-clock thread-coordination overhead of the superstep boundaries:
-    /// per superstep, the wall time of the concurrent compute phase minus the
-    /// slowest machine's compute time, summed over supersteps. For the pool
-    /// backend this is the barrier-crossing cost; for spawn-per-step it is
-    /// the thread spawn/join cost the pool exists to eliminate. The message
-    /// exchange itself runs on the coordinator between supersteps and is not
-    /// included (it is identical work under both backends).
+    /// Thread-coordination overhead of the superstep boundaries. For the
+    /// pooled backends this is **measured from barrier waits**
+    /// ([`PoolStats::sync_secs`](crate::pool::PoolStats::sync_secs)): the
+    /// coordinator's round-start waits plus the minimum worker's round-end
+    /// waits, i.e. the barrier-crossing cost with straggler slack (compute
+    /// imbalance) excluded. For spawn-per-step — which has no barrier to
+    /// measure — it remains the historical wall-minus-slowest inference of
+    /// the spawn/join cost the pool exists to eliminate; the pool regression
+    /// test pins both accountings to agree within scheduling noise. The
+    /// message exchange itself runs on the coordinator between supersteps
+    /// and is not included (it is identical work under both backends).
     pub sync_secs: f64,
     /// OS threads spawned over the run: `machines` for the pooled backends
     /// (including the whole multi-round loop of [`run_bsp_round_loop`]),
@@ -388,6 +392,7 @@ where
             // Exchange phase for the superstep that just finished (a no-op
             // right after a round boundary: all outboxes are drained).
             if generation > 0 {
+                let _span = distger_obs::span!("exchange", round = total_supersteps);
                 exchange_messages(&mut transport, &slots, total_supersteps);
             }
             let pending = slots
@@ -548,11 +553,13 @@ where
                 attempt += 1;
                 let last_panic = panic_message(payload.as_ref());
                 if attempt > policy.max_retries {
+                    distger_obs::instant("recovery_exhausted", -1, -1);
                     return Err(RecoveryExhausted {
                         attempts: attempt,
                         last_panic,
                     });
                 }
+                distger_obs::instant("recovery_attempt", -1, attempt as i64);
                 std::thread::sleep(policy.backoff_for(attempt));
             }
         }

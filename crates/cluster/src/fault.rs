@@ -178,12 +178,14 @@ impl FaultInjector {
                 match point.kind {
                     FaultKind::Panic => {
                         self.injected.fetch_add(1, Ordering::Relaxed);
+                        distger_obs::instant("fault_panic", machine as i64, round as i64);
                         panic!(
                             "injected fault: machine {machine} round {round} superstep {superstep}"
                         );
                     }
                     FaultKind::Delay(millis) => {
                         self.delayed.fetch_add(1, Ordering::Relaxed);
+                        distger_obs::instant("fault_delay", machine as i64, round as i64);
                         std::thread::sleep(Duration::from_millis(millis));
                     }
                 }

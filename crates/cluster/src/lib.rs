@@ -19,7 +19,6 @@
 //!   message is counted with an explicit byte size, and an analytic
 //!   [`NetworkModel`] converts the traffic into modelled communication time;
 //! * **memory accounting** ([`memory`]) for the Table 3 / Table 8 footprints;
-//! * wall-clock **phase timing** ([`timer`]);
 //! * **fault tolerance** ([`fault`]): deterministic fault injection
 //!   ([`FaultPlan`] / [`FaultInjector`]) threaded through the execution
 //!   backends as a zero-cost-when-disabled hook, and supervised recovery
@@ -50,9 +49,13 @@ pub use memory::MemoryEstimate;
 pub use pool::{
     run_rounds, run_rounds_with, BarrierPoisoned, EpochBarrier, ExecutionBackend, PoolStats,
 };
+// Wall-clock phase timing moved to distger-obs; the deprecated [`timer`]
+// shim and these re-exports keep old import paths compiling.
+#[allow(deprecated)]
 pub use timer::{PhaseTimes, Stopwatch};
 pub use transport::{
-    machine_split, ControlChannel, InMemoryTransport, SocketTransport, Transport, TransportKind,
+    gather_trace_events, machine_split, ControlChannel, InMemoryTransport, SocketTransport,
+    Transport, TransportKind,
 };
 pub use wire::{read_frame, write_frame, Frame, Wire, WireReader};
 

@@ -185,10 +185,22 @@ impl Drop for PoisonOnPanic<'_> {
 pub struct PoolStats {
     /// Rounds executed (for BSP: supersteps).
     pub rounds: u64,
-    /// Coordination overhead: per round, the wall-clock round time minus the
-    /// slowest worker's compute time, summed over rounds. For the pool this
-    /// is the barrier cost; for spawn-per-step it is the spawn/join cost.
+    /// Coordination overhead derived from **measured barrier waits**: the
+    /// coordinator's total wait at round-start barriers (time for the
+    /// slowest worker to arrive) plus the *minimum* worker's total wait at
+    /// round-end barriers (every worker's end wait includes the barrier
+    /// release cost; the minimum isolates it from straggler slack, which is
+    /// compute imbalance rather than coordination). For spawn-per-step,
+    /// which has no barrier, this equals
+    /// [`wall_sync_secs`](PoolStats::wall_sync_secs).
     pub sync_secs: f64,
+    /// The historical accounting of the same overhead: per round, the
+    /// wall-clock round time minus the slowest worker's compute time,
+    /// summed over rounds. Kept alongside [`sync_secs`](PoolStats::sync_secs)
+    /// because it is an *inference* (anything-that-isn't-compute) rather
+    /// than a measurement; the two agree within scheduling noise, which the
+    /// regression test pins down.
+    pub wall_sync_secs: f64,
     /// OS threads spawned by this invocation — always exactly the worker
     /// count: the whole point of the pool is that no round spawns anything.
     pub spawn_count: u64,
@@ -248,6 +260,11 @@ where
     // write before the round-end barrier and the coordinator reads after it,
     // so Relaxed ordering suffices (the barrier provides the happens-before).
     let compute_nanos: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    // Per-worker *cumulative* round-end barrier wait, read only after the
+    // scope joins every worker (a per-round slot would race: the coordinator
+    // leaves the end barrier before the workers finish timing their waits).
+    let end_wait_nanos: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let mut coordinator_start_wait_nanos: u64 = 0;
     let mut stats = PoolStats {
         spawn_count: workers as u64,
         ..PoolStats::default()
@@ -264,6 +281,7 @@ where
                 let stop = &stop;
                 let work = &work;
                 let slot = &compute_nanos[worker];
+                let wait_slot = &end_wait_nanos[worker];
                 scope.spawn(move || {
                     let _guard = PoisonOnPanic(barrier);
                     let mut round: u64 = 0;
@@ -279,10 +297,22 @@ where
                             injector.trip(worker, round, 0);
                         }
                         let started = Instant::now();
-                        work(worker, round);
+                        {
+                            let _span =
+                                distger_obs::span!("superstep", machine = worker, round = round);
+                            work(worker, round);
+                        }
                         slot.store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         // Round end: hand exclusivity back to the coordinator.
-                        if barrier.wait().is_err() {
+                        let wait_started = Instant::now();
+                        let waited = {
+                            let _span =
+                                distger_obs::span!("barrier_wait", machine = worker, round = round);
+                            barrier.wait()
+                        };
+                        wait_slot
+                            .fetch_add(wait_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        if waited.is_err() {
                             return;
                         }
                         round += 1;
@@ -292,7 +322,11 @@ where
             .collect();
 
         loop {
-            if !control(stats.rounds) {
+            let go_on = {
+                let _span = distger_obs::span!("control", round = stats.rounds);
+                control(stats.rounds)
+            };
+            if !go_on {
                 stop.store(true, Ordering::Release);
                 // Release the workers so they observe the stop flag.
                 let _ = barrier.wait();
@@ -302,6 +336,7 @@ where
             if barrier.wait().is_err() {
                 break; // a worker panicked; re-raised from its join below
             }
+            coordinator_start_wait_nanos += round_started.elapsed().as_nanos() as u64;
             if barrier.wait().is_err() {
                 break;
             }
@@ -312,7 +347,7 @@ where
                 .max()
                 .unwrap_or(0) as f64
                 / 1e9;
-            stats.sync_secs += (wall - slowest).max(0.0);
+            stats.wall_sync_secs += (wall - slowest).max(0.0);
             stats.rounds += 1;
         }
 
@@ -325,6 +360,12 @@ where
             }
         }
     });
+    let min_end_wait = end_wait_nanos
+        .iter()
+        .map(|nanos| nanos.load(Ordering::Relaxed))
+        .min()
+        .unwrap_or(0);
+    stats.sync_secs = (coordinator_start_wait_nanos + min_end_wait) as f64 / 1e9;
     stats
 }
 
@@ -464,6 +505,42 @@ mod tests {
         barrier.poison();
         assert!(barrier.is_poisoned());
         assert_eq!(barrier.wait(), Err(BarrierPoisoned));
+    }
+
+    #[test]
+    fn barrier_wait_sync_agrees_with_wall_accounting() {
+        // Regression for the sync_secs redesign: the coordinator's control
+        // phase (here: a deliberate 4ms sleep per round, ~120ms total) runs
+        // *before* the measured window of either accounting, so neither may
+        // attribute it to synchronization — and the two accountings must
+        // agree within scheduling noise on uniform 1ms workers.
+        let stats = run_rounds(
+            4,
+            |round| {
+                if round > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(4));
+                }
+                round < 30
+            },
+            |_, _| std::thread::sleep(std::time::Duration::from_millis(1)),
+        );
+        assert_eq!(stats.rounds, 30);
+        assert!(
+            stats.sync_secs < 0.060,
+            "barrier-wait sync {} must exclude the ~120ms of control time",
+            stats.sync_secs
+        );
+        assert!(
+            stats.wall_sync_secs < 0.060,
+            "wall-minus-slowest sync {} must exclude the ~120ms of control time",
+            stats.wall_sync_secs
+        );
+        assert!(
+            (stats.sync_secs - stats.wall_sync_secs).abs() < 0.050,
+            "accountings diverged: barrier-wait {} vs wall {}",
+            stats.sync_secs,
+            stats.wall_sync_secs
+        );
     }
 
     #[test]

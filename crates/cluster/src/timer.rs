@@ -1,105 +1,21 @@
-//! Wall-clock timing of the pipeline phases.
+//! Deprecated: wall-clock phase timing moved to `distger-obs`.
 //!
-//! The paper reports end-to-end time broken down into partitioning, random
-//! walks (sampling), and training (§6.2, §8.1); [`PhaseTimes`] carries that
-//! breakdown through the pipeline and the experiment harness.
+//! [`Stopwatch`] and [`PhaseTimes`] now live in the observability layer
+//! (`distger_obs`), alongside the trace clock and metrics registry they
+//! belong with. This module re-exports them unchanged so existing imports
+//! keep compiling; new code should use `distger_obs` (or the `obs` facade in
+//! the root crate) directly.
 
-use std::time::Instant;
+/// Deprecated re-export; use [`distger_obs::Stopwatch`].
+#[deprecated(
+    since = "0.1.0",
+    note = "moved to distger_obs::Stopwatch; import it from distger-obs"
+)]
+pub type Stopwatch = distger_obs::Stopwatch;
 
-/// A simple wall-clock stopwatch.
-#[derive(Debug)]
-pub struct Stopwatch {
-    start: Instant,
-}
-
-impl Stopwatch {
-    /// Starts (or restarts) timing now.
-    pub fn start() -> Self {
-        Self {
-            start: Instant::now(),
-        }
-    }
-
-    /// Seconds elapsed since [`Stopwatch::start`].
-    pub fn elapsed_secs(&self) -> f64 {
-        self.start.elapsed().as_secs_f64()
-    }
-
-    /// Restarts the stopwatch and returns the elapsed seconds before restart.
-    pub fn lap(&mut self) -> f64 {
-        let elapsed = self.elapsed_secs();
-        self.start = Instant::now();
-        elapsed
-    }
-}
-
-impl Default for Stopwatch {
-    fn default() -> Self {
-        Self::start()
-    }
-}
-
-/// Per-phase wall-clock times of one end-to-end run, in seconds.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct PhaseTimes {
-    /// Graph partitioning time.
-    pub partition_secs: f64,
-    /// Random-walk (sampling) time.
-    pub sampling_secs: f64,
-    /// Embedding training time.
-    pub training_secs: f64,
-    /// Modelled additional communication time (from the network model).
-    pub modelled_comm_secs: f64,
-}
-
-impl PhaseTimes {
-    /// End-to-end wall-clock total (excluding the modelled communication
-    /// component, which is reported separately because the computation here
-    /// runs on one physical host).
-    pub fn end_to_end_secs(&self) -> f64 {
-        self.partition_secs + self.sampling_secs + self.training_secs
-    }
-
-    /// End-to-end total including the modelled cross-machine communication.
-    pub fn end_to_end_with_comm_secs(&self) -> f64 {
-        self.end_to_end_secs() + self.modelled_comm_secs
-    }
-
-    /// Component-wise sum of two phase breakdowns.
-    pub fn add(&self, other: &PhaseTimes) -> PhaseTimes {
-        PhaseTimes {
-            partition_secs: self.partition_secs + other.partition_secs,
-            sampling_secs: self.sampling_secs + other.sampling_secs,
-            training_secs: self.training_secs + other.training_secs,
-            modelled_comm_secs: self.modelled_comm_secs + other.modelled_comm_secs,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn stopwatch_measures_time() {
-        let mut sw = Stopwatch::start();
-        std::thread::sleep(std::time::Duration::from_millis(5));
-        let t = sw.lap();
-        assert!(t >= 0.004, "expected at least ~5ms, got {t}");
-        assert!(sw.elapsed_secs() < t, "lap must restart the stopwatch");
-    }
-
-    #[test]
-    fn phase_times_totals() {
-        let a = PhaseTimes {
-            partition_secs: 1.0,
-            sampling_secs: 2.0,
-            training_secs: 3.0,
-            modelled_comm_secs: 0.5,
-        };
-        assert!((a.end_to_end_secs() - 6.0).abs() < 1e-12);
-        assert!((a.end_to_end_with_comm_secs() - 6.5).abs() < 1e-12);
-        let b = a.add(&a);
-        assert!((b.training_secs - 6.0).abs() < 1e-12);
-    }
-}
+/// Deprecated re-export; use [`distger_obs::PhaseTimes`].
+#[deprecated(
+    since = "0.1.0",
+    note = "moved to distger_obs::PhaseTimes; import it from distger-obs"
+)]
+pub type PhaseTimes = distger_obs::PhaseTimes;

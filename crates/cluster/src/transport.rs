@@ -115,6 +115,54 @@ pub trait ControlChannel {
 
     /// Measured on-the-wire traffic so far (all-zero for in-memory).
     fn wire_stats(&self) -> WireStats;
+
+    /// Estimated offset of the coordinator's trace clock relative to this
+    /// endpoint's, in microseconds: adding it to a local
+    /// [`distger_obs::now_micros`] reading maps the timestamp onto the
+    /// coordinator's time base. Zero on the coordinator itself and for every
+    /// in-process transport (shared clock); the socket transport measures it
+    /// during the HELLO handshake. Used by the cross-process trace merge to
+    /// align worker span timelines before shipping them.
+    fn clock_offset_micros(&self) -> i64 {
+        0
+    }
+}
+
+/// Ships this endpoint's thread-local trace events to the coordinator, which
+/// absorbs every endpoint's batch (its own included) into the global trace
+/// registry for the merged-timeline export. Event timestamps are shifted onto
+/// the coordinator's time base using [`ControlChannel::clock_offset_micros`],
+/// and each batch is stamped with the endpoint id as its `pid`.
+///
+/// A **synchronous collective**: when tracing is enabled every endpoint of
+/// the job must call it at the same point in the protocol (the drivers call
+/// it at round boundaries, right after the continue/stop broadcast). When
+/// tracing is disabled it is a pure no-op — no drain, no traffic — which
+/// keeps the disabled-path wire protocol bit-identical; the tracing flag is
+/// propagated through the job spec, so all endpoints agree on it.
+///
+/// Only the calling thread's ring is drained ([`distger_obs::drain_thread`]):
+/// loopback harnesses host several endpoints as threads of one process, and
+/// draining all rings would steal a co-located endpoint's events.
+pub fn gather_trace_events<C: ControlChannel + ?Sized>(channel: &mut C) -> io::Result<()> {
+    if !distger_obs::tracing_enabled() {
+        return Ok(());
+    }
+    let events = distger_obs::drain_thread();
+    let payload = distger_obs::encode_events(
+        &events,
+        channel.endpoint() as u32,
+        channel.clock_offset_micros(),
+    );
+    let gathered = channel.gather(&payload)?;
+    if channel.is_coordinator() {
+        for payload in &gathered {
+            let events = distger_obs::decode_events(payload)
+                .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))?;
+            distger_obs::absorb(events);
+        }
+    }
+    Ok(())
 }
 
 /// A transport moves superstep message batches between machines and answers
@@ -237,15 +285,28 @@ struct FrameConn {
     peer: u32,
     send_seq: u64,
     recv_seq: u64,
+    /// Global-registry counter handles, resolved once per connection so the
+    /// per-frame cost is a relaxed atomic add. These feed the same numbers
+    /// into the observability layer that `WireStats` carries through the
+    /// result structs — one for dashboards/Prometheus, one for reports.
+    obs_frames_sent: distger_obs::Counter,
+    obs_bytes_sent: distger_obs::Counter,
+    obs_frames_received: distger_obs::Counter,
+    obs_bytes_received: distger_obs::Counter,
 }
 
 impl FrameConn {
     fn new(stream: TcpStream, peer: u32) -> Self {
+        let metrics = distger_obs::global();
         FrameConn {
             stream,
             peer,
             send_seq: 0,
             recv_seq: 0,
+            obs_frames_sent: metrics.counter("transport.frames_sent"),
+            obs_bytes_sent: metrics.counter("transport.bytes_sent"),
+            obs_frames_received: metrics.counter("transport.frames_received"),
+            obs_bytes_received: metrics.counter("transport.bytes_received"),
         }
     }
 
@@ -261,6 +322,8 @@ impl FrameConn {
         stats.wire_nanos += started.elapsed().as_nanos() as u64;
         stats.frames_sent += 1;
         stats.bytes_sent += bytes as u64;
+        self.obs_frames_sent.inc();
+        self.obs_bytes_sent.add(bytes as u64);
         if kind_ == kind::BATCH || kind_ == kind::DELIVER {
             stats.batch_bytes_sent += payload.len() as u64;
         }
@@ -274,6 +337,9 @@ impl FrameConn {
         stats.wire_nanos += started.elapsed().as_nanos() as u64;
         stats.frames_received += 1;
         stats.bytes_received += (crate::wire::FRAME_HEADER_BYTES + frame.payload.len()) as u64;
+        self.obs_frames_received.inc();
+        self.obs_bytes_received
+            .add((crate::wire::FRAME_HEADER_BYTES + frame.payload.len()) as u64);
         if frame.kind != expect {
             return Err(invalid(format!(
                 "expected frame kind {expect}, got {} (protocol desync?)",
@@ -352,6 +418,9 @@ pub struct SocketTransport {
     /// Worker: exactly one conn, to the coordinator.
     conns: Vec<FrameConn>,
     stats: WireStats,
+    /// Coordinator-clock minus local-clock estimate from the HELLO
+    /// handshake; 0 on the coordinator.
+    clock_offset_micros: i64,
 }
 
 impl SocketTransport {
@@ -386,6 +455,10 @@ impl SocketTransport {
             put_u32(&mut ack, e as u32);
             put_u32(&mut ack, endpoints as u32);
             put_u32(&mut ack, num_machines as u32);
+            // Coordinator trace-clock reading, taken as late as possible
+            // before the send: the worker brackets the round trip around it
+            // to estimate its clock offset for the cross-process trace merge.
+            crate::wire::put_u64(&mut ack, distger_obs::now_micros() as u64);
             conn.send(0, kind::HELLO_ACK, &ack, &mut stats)?;
             conns.push(conn);
         }
@@ -396,6 +469,7 @@ impl SocketTransport {
             local: machine_split(num_machines, endpoints, 0),
             conns,
             stats: WireStats::default(),
+            clock_offset_micros: 0,
         })
     }
 
@@ -418,18 +492,28 @@ impl SocketTransport {
         stream.set_nodelay(true)?;
         let mut conn = FrameConn::new(stream, 0);
         let mut stats = WireStats::default();
+        let hello_sent = distger_obs::now_micros();
         conn.send(u32::MAX, kind::HELLO, &[], &mut stats)?;
         let ack = conn.recv(kind::HELLO_ACK, &mut stats)?;
+        let ack_received = distger_obs::now_micros();
         let mut r = WireReader::new(&ack.payload);
         let endpoint = r.u32()? as usize;
         let endpoints = r.u32()? as usize;
         let num_machines = r.u32()? as usize;
+        let coordinator_micros = r.u64()? as i64;
         r.finish()?;
         if endpoint == 0 || endpoint >= endpoints || num_machines < endpoints {
             return Err(invalid(format!(
                 "nonsensical HelloAck: endpoint {endpoint} of {endpoints}, {num_machines} machines"
             )));
         }
+        // NTP-style midpoint estimate: the coordinator stamped its clock
+        // between our send and our receive, so the local time it corresponds
+        // to is (best guess, symmetric-latency assumption) the midpoint of
+        // the round trip. Error is bounded by half the RTT — microseconds on
+        // loopback/LAN, far below span durations at round granularity.
+        let midpoint = hello_sent + (ack_received - hello_sent) / 2;
+        let clock_offset_micros = coordinator_micros - midpoint;
         Ok(SocketTransport {
             endpoint,
             endpoints,
@@ -437,6 +521,7 @@ impl SocketTransport {
             local: machine_split(num_machines, endpoints, endpoint),
             conns: vec![conn],
             stats,
+            clock_offset_micros,
         })
     }
 
@@ -581,6 +666,10 @@ impl ControlChannel for SocketTransport {
 
     fn wire_stats(&self) -> WireStats {
         self.stats
+    }
+
+    fn clock_offset_micros(&self) -> i64 {
+        self.clock_offset_micros
     }
 }
 
@@ -835,6 +924,13 @@ mod tests {
             .map(|_| {
                 std::thread::spawn(move || {
                     let mut t = SocketTransport::worker(addr, Duration::from_secs(5)).unwrap();
+                    // Both sides of a loopback pair share one trace epoch, so
+                    // the measured offset must be tiny (bounded by the RTT).
+                    assert!(
+                        t.clock_offset_micros().abs() < 1_000_000,
+                        "loopback clock offset {}µs",
+                        t.clock_offset_micros()
+                    );
                     let b = t.broadcast(&[]).unwrap();
                     assert_eq!(b, b"round-1");
                     assert!(t.gather(&[t.endpoint() as u8]).unwrap().is_empty());
@@ -845,6 +941,11 @@ mod tests {
             })
             .collect();
         let mut coord = SocketTransport::coordinator(&listener, endpoints, machines).unwrap();
+        assert_eq!(
+            coord.clock_offset_micros(),
+            0,
+            "coordinator is the reference clock"
+        );
         assert_eq!(coord.broadcast(b"round-1").unwrap(), b"round-1");
         let gathered = coord.gather(&[0]).unwrap();
         assert_eq!(gathered, vec![vec![0], vec![1], vec![2]]);

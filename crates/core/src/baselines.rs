@@ -19,9 +19,10 @@
 //! These are deliberately *not* feature-complete reimplementations; DESIGN.md
 //! documents the substitution.
 
-use distger_cluster::{CommStats, PhaseTimes, Stopwatch};
+use distger_cluster::CommStats;
 use distger_embed::Embeddings;
 use distger_graph::{CsrGraph, NodeId};
+use distger_obs::{PhaseTimes, Stopwatch};
 use distger_walks::rng::SplitMix64;
 
 fn sigmoid(x: f32) -> f32 {

@@ -50,10 +50,15 @@ pub struct JobSpec {
     pub epochs: u32,
     /// Embedding dimension.
     pub dim: u32,
+    /// Enable span tracing on every process of the job. Workers ship their
+    /// event buffers to the coordinator at round boundaries, and the
+    /// coordinator's [`LaunchReport::trace`] carries the merged timeline.
+    pub trace: bool,
 }
 
 /// Spec wire version, bumped on any layout change.
-const JOB_SPEC_VERSION: u16 = 1;
+/// v2 added the `trace` flag.
+const JOB_SPEC_VERSION: u16 = 2;
 
 impl Default for JobSpec {
     fn default() -> Self {
@@ -65,6 +70,7 @@ impl Default for JobSpec {
             seed: 7,
             epochs: 1,
             dim: 32,
+            trace: false,
         }
     }
 }
@@ -81,6 +87,7 @@ impl JobSpec {
         put_u64(&mut out, self.seed);
         put_u32(&mut out, self.epochs);
         put_u32(&mut out, self.dim);
+        out.push(u8::from(self.trace));
         out
     }
 
@@ -103,6 +110,16 @@ impl JobSpec {
             seed: r.u64()?,
             epochs: r.u32()?,
             dim: r.u32()?,
+            trace: match r.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad trace flag byte {other}"),
+                    ))
+                }
+            },
         };
         r.finish()?;
         Ok(spec)
@@ -150,6 +167,11 @@ pub struct LaunchReport {
     /// Wire traffic measured at the coordinator over the *whole* run —
     /// walk superstep batches plus training parameter rows.
     pub wire: WireStats,
+    /// The merged trace timeline when [`JobSpec::trace`] was set: every
+    /// process's span events, clock-aligned to the coordinator and sorted by
+    /// `(pid, tid, ts)`. Empty when tracing was off. Feed it to
+    /// [`distger_obs::chrome_trace_json`] for a Perfetto-loadable file.
+    pub trace: Vec<distger_obs::TraceEvent>,
 }
 
 /// Runs the coordinator endpoint: accepts `workers` connections on
@@ -167,6 +189,9 @@ pub fn run_coordinator(
         endpoints
     );
     let mut transport = SocketTransport::coordinator(listener, endpoints, spec.machines as usize)?;
+    if spec.trace {
+        distger_obs::set_tracing(true);
+    }
     transport.broadcast(&spec.encode())?;
 
     let graph = spec.build_graph();
@@ -178,11 +203,20 @@ pub fn run_coordinator(
         train_distributed_over(&mut transport, Some(&walk.corpus), &config.training)?
             .expect("coordinator returns the training result");
     let wire = transport.wire_stats();
+    // The workers' round-boundary batches were absorbed during the phases;
+    // draining everything here adds the coordinator's own leftover events
+    // (plus any in-process pool threads') and sorts the merged timeline.
+    let trace = if spec.trace {
+        distger_obs::drain_all()
+    } else {
+        Vec::new()
+    };
     Ok(LaunchReport {
         walk,
         embeddings,
         train_stats,
         wire,
+        trace,
     })
 }
 
@@ -192,6 +226,9 @@ pub fn run_worker(addr: SocketAddr, timeout: Duration) -> io::Result<()> {
     let mut transport = SocketTransport::worker(addr, timeout)?;
     let payload = transport.broadcast(&[])?;
     let spec = JobSpec::decode(&payload)?;
+    if spec.trace {
+        distger_obs::set_tracing(true);
+    }
 
     let graph = spec.build_graph();
     let config = spec.build_config();
@@ -233,6 +270,7 @@ mod tests {
             seed: 17,
             epochs: 2,
             dim: 16,
+            trace: true,
         };
         let bytes = spec.encode();
         assert_eq!(JobSpec::decode(&bytes).expect("decode own encoding"), spec);
@@ -245,6 +283,9 @@ mod tests {
         let mut wrong_version = bytes.clone();
         wrong_version[0] ^= 0xff;
         assert!(JobSpec::decode(&wrong_version).is_err());
+        let mut bad_trace = bytes.clone();
+        *bad_trace.last_mut().unwrap() = 7;
+        assert!(JobSpec::decode(&bad_trace).is_err(), "bad trace flag byte");
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! The end-to-end DistGER pipeline: partition → sample → learn.
 
 use distger_cluster::{
-    ClusterConfig, CommStats, ExecutionBackend, MemoryEstimate, PhaseTimes, RecoveryPolicy,
-    Stopwatch, TransportKind,
+    ClusterConfig, CommStats, ExecutionBackend, MemoryEstimate, RecoveryPolicy, TransportKind,
 };
 use distger_embed::{train_distributed, Embeddings, TrainStats, TrainerConfig, TrainerKind};
 use distger_graph::CsrGraph;
+use distger_obs::{PhaseTimes, Stopwatch};
 use distger_partition::{
     balanced::workload_balanced_partition,
     fennel::{fennel_partition, FennelConfig},
@@ -329,18 +329,26 @@ pub fn run_pipeline(graph: &CsrGraph, config: &DistGerConfig) -> PipelineResult 
 
     // Phase 1: partitioning.
     let mut watch = Stopwatch::start();
-    let partitioning = config
-        .partitioner
-        .partition(graph, num_machines, config.seed);
+    let partitioning = {
+        let _span = distger_obs::span!("partition");
+        config
+            .partitioner
+            .partition(graph, num_machines, config.seed)
+    };
     times.partition_secs = watch.lap();
 
     // Phase 2: distributed information-centric random walks.
-    let walk_result = run_distributed_walks(graph, &partitioning, &config.walks);
+    let walk_result = {
+        let _span = distger_obs::span!("sampling");
+        run_distributed_walks(graph, &partitioning, &config.walks)
+    };
     times.sampling_secs = watch.lap();
 
     // Phase 3: distributed Skip-Gram learning.
-    let (embeddings, train_stats) =
-        train_distributed(&walk_result.corpus, num_machines, &config.training);
+    let (embeddings, train_stats) = {
+        let _span = distger_obs::span!("training");
+        train_distributed(&walk_result.corpus, num_machines, &config.training)
+    };
     times.training_secs = watch.lap();
 
     // Modelled cross-machine communication time.

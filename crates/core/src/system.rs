@@ -1,9 +1,10 @@
 //! A uniform interface over the five compared systems, used by the
 //! experiment harness (Figures 5, 6, 8 and Table 4).
 
-use distger_cluster::{CommStats, PhaseTimes};
+use distger_cluster::CommStats;
 use distger_embed::Embeddings;
 use distger_graph::CsrGraph;
+use distger_obs::PhaseTimes;
 
 use crate::baselines::{run_gnn_like, run_pbg_like, GnnLikeConfig, PbgLikeConfig};
 use crate::pipeline::{run_pipeline, DistGerConfig};

@@ -36,7 +36,9 @@ use std::net::TcpListener;
 use std::time::Duration;
 
 use distger_cluster::wire::{put_u32, put_u64};
-use distger_cluster::{CommStats, ControlChannel, SocketTransport, WireReader};
+use distger_cluster::{
+    gather_trace_events, CommStats, ControlChannel, SocketTransport, WireReader,
+};
 use distger_walks::rng::SplitMix64;
 use distger_walks::Corpus;
 
@@ -258,15 +260,18 @@ pub fn train_distributed_over<C: ControlChannel + ?Sized>(
     for chunk in 0..total_chunks {
         let slice_idx = chunk % config.sync_rounds_per_epoch.max(1);
         let slice = epoch_slice(&shard, slice_idx, config.sync_rounds_per_epoch);
-        let (pairs, buffer_bytes) = train_machine_chunk(
-            &replica,
-            slice,
-            &table,
-            &sigmoid,
-            config,
-            lr_for(chunk),
-            endpoint as u64,
-        );
+        let (pairs, buffer_bytes) = {
+            let _chunk_span = distger_obs::span!("train_chunk", machine = endpoint, round = chunk);
+            train_machine_chunk(
+                &replica,
+                slice,
+                &table,
+                &sigmoid,
+                config,
+                lr_for(chunk),
+                endpoint as u64,
+            )
+        };
         pairs_processed += pairs;
         peak_buffer_bytes = peak_buffer_bytes.max(buffer_bytes);
 
@@ -276,6 +281,7 @@ pub fn train_distributed_over<C: ControlChannel + ?Sized>(
         if m <= 1 || ranks.is_empty() {
             continue;
         }
+        let _sync_span = distger_obs::span!("replica_sync", machine = endpoint, round = chunk);
         let mut payload = Vec::with_capacity(ranks.len() * 2 * config.dim * 4);
         encode_rows(&replica, &ranks, config.dim, &mut payload);
         let gathered = channel.gather(&payload)?;
@@ -311,6 +317,10 @@ pub fn train_distributed_over<C: ControlChannel + ?Sized>(
     put_u64(&mut payload, pairs_processed);
     put_u64(&mut payload, peak_buffer_bytes as u64);
     let gathered = channel.gather(&payload)?;
+    // Cross-process trace merge: every endpoint ships its training spans to
+    // the coordinator at the end of the run (a no-op collective when tracing
+    // is disabled).
+    gather_trace_events(channel)?;
     if !coordinator {
         return Ok(None);
     }

@@ -385,6 +385,8 @@ fn train_distributed_inner(
                                     peak_buffer_bytes = peak_buffer_bytes.max(buffer_bytes);
                                 }
                                 // Synchronize parameters across machines.
+                                let _sync_span =
+                                    distger_obs::span!("replica_sync", round = completed_chunks);
                                 let ranks = select_sync_ranks(config.sync, &vocab, &mut sync_rng);
                                 synchronize_replicas(&replicas, &ranks, &mut sync_comm);
                                 completed_chunks += 1;
@@ -396,6 +398,8 @@ fn train_distributed_inner(
                             if let Some(injector) = faults {
                                 injector.trip(machine, chunk as u64, 0);
                             }
+                            let _chunk_span =
+                                distger_obs::span!("train_chunk", machine = machine, round = chunk);
                             let slice_idx = chunk % config.sync_rounds_per_epoch.max(1);
                             let slice = epoch_slice(
                                 &shards[machine],
@@ -464,6 +468,11 @@ fn train_distributed_inner(
                                         if let Some(injector) = faults {
                                             injector.trip(machine, chunk as u64, 0);
                                         }
+                                        let _chunk_span = distger_obs::span!(
+                                            "train_chunk",
+                                            machine = machine,
+                                            round = chunk
+                                        );
                                         let compute_started = std::time::Instant::now();
                                         let slice = epoch_slice(
                                             shard,
@@ -525,6 +534,7 @@ fn train_distributed_inner(
                 sync_secs += (wall - slowest).max(0.0);
 
                 // Synchronize parameters across machines.
+                let _sync_span = distger_obs::span!("replica_sync", round = chunk);
                 let ranks = select_sync_ranks(config.sync, &vocab, &mut sync_rng);
                 synchronize_replicas(&replicas, &ranks, &mut sync_comm);
             }

@@ -1,0 +1,210 @@
+//! The shared histogram type of the metrics layer.
+//!
+//! Moved here from `distger-serve`'s scheduler (which keeps a re-export shim)
+//! so every layer records distributions into the same representation and the
+//! [`MetricsRegistry`](crate::MetricsRegistry) can expose them uniformly —
+//! including as Prometheus cumulative buckets, which the power-of-two layout
+//! maps onto directly.
+
+/// A fixed-bucket power-of-two histogram: values land in the bucket of
+/// their bit length, so 65 buckets cover all of `u64` with no allocation
+/// and O(1) recording. Quantiles report the **upper bound** of the bucket
+/// the quantile falls in (a ≤2x overestimate — conservative in the right
+/// direction for latency SLOs); the exact maximum is tracked separately.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; 65],
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; 65],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another histogram into this one: bucket-wise count addition,
+    /// saturating sum, and the maximum of the two maxima. The result is
+    /// exactly the histogram that recording both value streams into one
+    /// instance would have produced.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The histogram of values recorded since `earlier` was snapshotted from
+    /// this same instance (bucket-wise saturating subtraction). The exact
+    /// maximum of only-the-new values is not recoverable from two snapshots,
+    /// so the diff conservatively keeps this instance's maximum.
+    pub fn diff(&self, earlier: &Log2Histogram) -> Log2Histogram {
+        let mut out = self.clone();
+        for (mine, theirs) in out.counts.iter_mut().zip(&earlier.counts) {
+            *mine = mine.saturating_sub(*theirs);
+        }
+        out.total = out.total.saturating_sub(earlier.total);
+        out.sum = out.sum.saturating_sub(earlier.sum);
+        out
+    }
+
+    /// Iterates the non-empty buckets as `(upper_bound, count)` pairs in
+    /// ascending bound order (bucket 64's bound saturates to `u64::MAX`).
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(bucket, &count)| (bucket_upper_bound(bucket), count))
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q·total)`-th smallest recorded value, clamped to
+    /// the exact maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // bucket 64's bound wraps to u64::MAX via the wrapping ops in
+                // bucket_upper_bound; clamp every bucket to the observed max.
+                return bucket_upper_bound(bucket).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Largest value that lands in `bucket` (0 for bucket 0, `2^b - 1` for
+/// bucket `b`, saturating to `u64::MAX` for bucket 64).
+fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        (1u64 << (bucket - 1)).wrapping_mul(2).wrapping_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_the_exact_values() {
+        let mut hist = Log2Histogram::default();
+        for v in [0u64, 1, 2, 3, 100, 1000, 1_000_000] {
+            hist.record(v);
+        }
+        assert_eq!(hist.total(), 7);
+        assert_eq!(hist.max(), 1_000_000);
+        assert_eq!(hist.quantile(1.0), 1_000_000);
+        // p50 of 7 values = 4th smallest (3) → bucket upper bound 3.
+        assert_eq!(hist.quantile(0.5), 3);
+        // The upper-bound contract: quantile ≥ the true value, ≤ 2x.
+        let p85 = hist.quantile(0.85); // 6th smallest = 1000
+        assert!((1000..=2047).contains(&p85));
+        assert_eq!(Log2Histogram::default().quantile(0.99), 0);
+        assert_eq!(hist.quantile(0.0), 0, "rank clamps to the first value");
+    }
+
+    #[test]
+    fn merge_equals_recording_both_streams() {
+        let (a_vals, b_vals) = ([1u64, 5, 5, 900], [0u64, 2, 65_000]);
+        let mut a = Log2Histogram::default();
+        let mut b = Log2Histogram::default();
+        let mut both = Log2Histogram::default();
+        for v in a_vals {
+            a.record(v);
+            both.record(v);
+        }
+        for v in b_vals {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.total(), 7);
+        assert_eq!(a.max(), 65_000);
+    }
+
+    #[test]
+    fn diff_recovers_the_values_recorded_in_between() {
+        let mut hist = Log2Histogram::default();
+        hist.record(3);
+        hist.record(100);
+        let earlier = hist.clone();
+        hist.record(7);
+        hist.record(7);
+        let d = hist.diff(&earlier);
+        assert_eq!(d.total(), 2);
+        assert_eq!(d.sum(), 14);
+        assert_eq!(d.quantile(1.0).min(7), 7);
+    }
+
+    #[test]
+    fn buckets_iterate_cumulative_friendly_bounds() {
+        let mut hist = Log2Histogram::default();
+        hist.record(0);
+        hist.record(1);
+        hist.record(6);
+        let buckets: Vec<(u64, u64)> = hist.buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (7, 1)]);
+        let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, hist.total());
+    }
+
+    #[test]
+    fn top_bucket_bound_saturates() {
+        let mut hist = Log2Histogram::default();
+        hist.record(u64::MAX);
+        assert_eq!(hist.buckets().next(), Some((u64::MAX, 1)));
+        assert_eq!(hist.quantile(1.0), u64::MAX);
+    }
+}

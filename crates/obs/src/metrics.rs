@@ -1,0 +1,343 @@
+//! The metrics registry: named counters, gauges, and histograms with cheap
+//! atomic handles, a snapshot/diff API, and Prometheus text exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s resolved once
+//! by name and then updated lock-free (counters, gauges) or under an
+//! uncontended per-metric mutex (histograms) — hot paths never touch the
+//! name table. [`MetricsRegistry::snapshot`] freezes every metric into a
+//! [`MetricsSnapshot`]; `later.diff(&earlier)` isolates what one phase
+//! contributed, which is how per-round transport traffic is attributed
+//! without resetting live counters.
+
+use crate::hist::Log2Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a signed value that may go up or down.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram handle over a shared [`Log2Histogram`].
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<Mutex<Log2Histogram>>);
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(value);
+    }
+
+    /// A copy of the current distribution.
+    pub fn get(&self) -> Log2Histogram {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A registry of named metrics. Cloning shares the underlying store; the
+/// [`global`] registry is what the instrumented layers use so one scrape
+/// sees the whole process.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+/// Recovers a poisoned name-table lock: the maps hold only independent
+/// handles, valid in any state a panicking holder left them.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use. Resolve once and keep
+    /// the handle; updates through the handle never touch the name table.
+    pub fn counter(&self, name: &str) -> Counter {
+        lock(&self.inner.counters)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        lock(&self.inner.gauges)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        lock(&self.inner.histograms)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Freezes every metric into an owned snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock(&self.inner.counters)
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: lock(&self.inner.gauges)
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: lock(&self.inner.histograms)
+                .iter()
+                .map(|(name, h)| (name.clone(), h.get()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry the instrumented layers record into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::default)
+}
+
+/// A point-in-time copy of a registry's metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram distributions by name.
+    pub histograms: BTreeMap<String, Log2Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// What happened between `earlier` and `self` (both snapshots of the
+    /// same registry): counters and histograms subtract (saturating — a
+    /// metric born after `earlier` reports its full value), gauges keep the
+    /// later reading (a gauge is a level, not a flow).
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, &v)| {
+                    let before = earlier.counters.get(name).copied().unwrap_or(0);
+                    (name.clone(), v.saturating_sub(before))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| match earlier.histograms.get(name) {
+                    Some(before) => (name.clone(), h.diff(before)),
+                    None => (name.clone(), h.clone()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Merges another snapshot into this one: counters add, gauges add
+    /// (useful when per-endpoint gauges measure disjoint resources),
+    /// histograms merge.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, &v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, &v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Histograms become cumulative `_bucket{le="..."}` series over the
+    /// power-of-two bounds, plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, &value) in &self.counters {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, &value) in &self.gauges {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, hist) in &self.histograms {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in hist.buckets() {
+                cumulative += count;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.total());
+            let _ = writeln!(out, "{name}_sum {}", hist.sum());
+            let _ = writeln!(out, "{name}_count {}", hist.total());
+        }
+        out
+    }
+
+    /// Writes [`to_prometheus`](MetricsSnapshot::to_prometheus) to a file.
+    pub fn write_prometheus(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_prometheus())
+    }
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; map everything else to `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("frames");
+        let b = registry.counter("frames");
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.counter("frames").get(), 3);
+
+        let g = registry.gauge("inflight");
+        g.add(5);
+        g.add(-2);
+        assert_eq!(registry.gauge("inflight").get(), 3);
+
+        registry.histogram("lat").record(100);
+        assert_eq!(registry.histogram("lat").get().total(), 1);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_a_phase() {
+        let registry = MetricsRegistry::new();
+        let frames = registry.counter("frames");
+        let lat = registry.histogram("lat");
+        frames.add(10);
+        lat.record(50);
+        let before = registry.snapshot();
+        frames.add(7);
+        lat.record(9);
+        registry.counter("born_later").add(3);
+        let after = registry.snapshot();
+        let delta = after.diff(&before);
+        assert_eq!(delta.counters["frames"], 7);
+        assert_eq!(delta.counters["born_later"], 3);
+        assert_eq!(delta.histograms["lat"].total(), 1);
+        assert_eq!(delta.histograms["lat"].sum(), 9);
+    }
+
+    #[test]
+    fn merge_sums_across_snapshots() {
+        let r1 = MetricsRegistry::new();
+        r1.counter("frames").add(2);
+        r1.histogram("lat").record(4);
+        let r2 = MetricsRegistry::new();
+        r2.counter("frames").add(3);
+        r2.histogram("lat").record(8);
+        let mut merged = r1.snapshot();
+        merged.merge(&r2.snapshot());
+        assert_eq!(merged.counters["frames"], 5);
+        assert_eq!(merged.histograms["lat"].total(), 2);
+        assert_eq!(merged.histograms["lat"].sum(), 12);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let registry = MetricsRegistry::new();
+        registry.counter("transport.frames_sent").add(12);
+        registry.gauge("queue-depth").set(-1);
+        let lat = registry.histogram("latency_nanos");
+        lat.record(1);
+        lat.record(3);
+        lat.record(3);
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE transport_frames_sent counter"));
+        assert!(text.contains("transport_frames_sent 12"));
+        assert!(text.contains("queue_depth -1"));
+        // Cumulative buckets: one value ≤1, all three ≤3 and ≤+Inf.
+        assert!(text.contains("latency_nanos_bucket{le=\"1\"} 1"));
+        assert!(text.contains("latency_nanos_bucket{le=\"3\"} 3"));
+        assert!(text.contains("latency_nanos_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("latency_nanos_sum 7"));
+        assert!(text.contains("latency_nanos_count 3"));
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        global().counter("obs.test.global").inc();
+        assert!(global().snapshot().counters["obs.test.global"] >= 1);
+    }
+}

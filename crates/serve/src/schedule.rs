@@ -147,89 +147,11 @@ impl std::fmt::Display for Rejected {
 
 impl std::error::Error for Rejected {}
 
-/// A fixed-bucket power-of-two histogram: values land in the bucket of
-/// their bit length, so 65 buckets cover all of `u64` with no allocation
-/// and O(1) recording. Quantiles report the **upper bound** of the bucket
-/// the quantile falls in (a ≤2x overestimate — conservative in the right
-/// direction for latency SLOs); the exact maximum is tracked separately.
-#[derive(Clone, Debug)]
-pub struct Log2Histogram {
-    counts: [u64; 65],
-    total: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl Default for Log2Histogram {
-    fn default() -> Self {
-        Self {
-            counts: [0; 65],
-            total: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-}
-
-impl Log2Histogram {
-    /// Records one value.
-    pub fn record(&mut self, value: u64) {
-        let bucket = (64 - value.leading_zeros()) as usize;
-        self.counts[bucket] += 1;
-        self.total += 1;
-        self.sum = self.sum.saturating_add(value);
-        self.max = self.max.max(value);
-    }
-
-    /// Number of recorded values.
-    pub fn total(&self) -> u64 {
-        self.total
-    }
-
-    /// Sum of recorded values (saturating).
-    pub fn sum(&self) -> u64 {
-        self.sum
-    }
-
-    /// Exact maximum recorded value (0 when empty).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Mean of recorded values (0.0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.total as f64
-        }
-    }
-
-    /// The value at quantile `q` in `[0, 1]`: the upper bound of the bucket
-    /// holding the `ceil(q·total)`-th smallest recorded value, clamped to
-    /// the exact maximum. Returns 0 when empty.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (bucket, &count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                let upper = if bucket == 0 {
-                    0
-                } else {
-                    (1u64 << (bucket - 1)).wrapping_mul(2).wrapping_sub(1)
-                };
-                // bucket 64 wraps to u64::MAX via the wrapping ops above;
-                // clamp every bucket to the exact observed max.
-                return upper.min(self.max);
-            }
-        }
-        self.max
-    }
-}
+/// The power-of-two latency/size histogram, now owned by the observability
+/// layer (it grew up here; the metrics registry needed it, and a metrics type
+/// belongs below the serving layer). Re-exported so existing
+/// `distger_serve::Log2Histogram` imports keep working.
+pub use distger_obs::Log2Histogram;
 
 /// Counters and distributions of a [`Scheduler`]'s lifetime so far.
 ///
@@ -298,6 +220,24 @@ impl SchedulerStats {
     /// for the bucket-upper-bound semantics).
     pub fn latency_quantile(&self, q: f64) -> Duration {
         Duration::from_nanos(self.latency.quantile(q))
+    }
+
+    /// Aggregates another scheduler's lifetime stats into this one — for
+    /// fleet-level reporting over several scheduler replicas. Counters add,
+    /// histograms [`merge`](Log2Histogram::merge), and `elapsed` takes the
+    /// maximum (replicas run concurrently; summing ages would deflate
+    /// [`qps`](SchedulerStats::qps)).
+    pub fn merge(&mut self, other: &SchedulerStats) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.shed += other.shed;
+        self.shutdown_errors += other.shutdown_errors;
+        self.batches += other.batches;
+        self.latency.merge(&other.latency);
+        self.batch_sizes.merge(&other.batch_sizes);
+        self.elapsed = self.elapsed.max(other.elapsed);
     }
 }
 
@@ -386,6 +326,9 @@ fn dispatch<C: Clock>(shared: &Shared<C>) {
         state.stats.batch_sizes.record(take as u64);
         drop(state);
 
+        // The "batch" span covers flush → engine → answers delivered; the
+        // queued→flushed wait is visible as the gap since "request_queued".
+        let _batch_span = distger_obs::span!("batch", round = batch_index);
         let mut batch = QueryBatch::new(shared.engine.index().dim());
         for request in &requests {
             batch.push(&request.query);
@@ -566,6 +509,7 @@ impl<C: Clock> RequestClient<C> {
                 state.stats.cache_hits += 1;
                 state.stats.latency.record(0);
                 drop(state);
+                distger_obs::instant("cache_hit", -1, -1);
                 let _ = tx.send(Ok(answer));
                 return Ok(PendingQuery { rx });
             }
@@ -575,6 +519,8 @@ impl<C: Clock> RequestClient<C> {
         };
         if state.inflight >= self.shared.config.max_inflight {
             state.stats.shed += 1;
+            drop(state);
+            distger_obs::instant("request_shed", -1, -1);
             return Err(Rejected::Overloaded);
         }
         state.stats.cache_misses += 1;
@@ -586,6 +532,7 @@ impl<C: Clock> RequestClient<C> {
             submitted_at: self.shared.clock.now(),
         });
         drop(state);
+        distger_obs::instant("request_queued", -1, -1);
         // Wake after releasing the state lock (the clock protocol's lock
         // order is state → clock).
         self.shared.clock.wake();
@@ -855,21 +802,38 @@ mod tests {
     }
 
     #[test]
-    fn histogram_quantiles_bound_the_exact_values() {
-        let mut hist = Log2Histogram::default();
-        for v in [0u64, 1, 2, 3, 100, 1000, 1_000_000] {
-            hist.record(v);
-        }
-        assert_eq!(hist.total(), 7);
-        assert_eq!(hist.max(), 1_000_000);
-        assert_eq!(hist.quantile(1.0), 1_000_000);
-        // p50 of 7 values = 4th smallest (3) → bucket upper bound 3.
-        assert_eq!(hist.quantile(0.5), 3);
-        // The upper-bound contract: quantile ≥ the true value, ≤ 2x.
-        let p85 = hist.quantile(0.85); // 6th smallest = 1000
-        assert!((1000..=2047).contains(&p85));
-        assert_eq!(Log2Histogram::default().quantile(0.99), 0);
-        assert_eq!(hist.quantile(0.0), 0, "rank clamps to the first value");
+    fn merged_stats_aggregate_replicas() {
+        // Two schedulers answer disjoint traffic; the merged stats must look
+        // like one fleet: counters summed, distributions merged, identities
+        // preserved.
+        let run = |nodes: std::ops::Range<u32>| {
+            let scheduler = Scheduler::new(engine(QueryBackend::Exact), SchedulerConfig::default());
+            let client = scheduler.client();
+            let pending: Vec<PendingQuery> = nodes
+                .map(|node| {
+                    let query = query_of(scheduler.engine(), node);
+                    client.submit(&query).unwrap()
+                })
+                .collect();
+            for p in pending {
+                assert!(p.wait().is_ok());
+            }
+            scheduler.stats()
+        };
+        let a = run(0..3);
+        let b = run(3..8);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.submitted, 8);
+        assert_eq!(merged.completed, a.completed + b.completed);
+        assert_eq!(merged.batches, a.batches + b.batches);
+        assert_eq!(
+            merged.latency.total(),
+            a.latency.total() + b.latency.total()
+        );
+        assert_eq!(merged.batch_sizes.sum(), merged.completed);
+        assert_eq!(merged.elapsed, a.elapsed.max(b.elapsed));
+        assert!(merged.latency.max() >= a.latency.max().max(b.latency.max()));
     }
 
     #[test]

@@ -28,7 +28,9 @@ use std::net::TcpListener;
 use std::time::Duration;
 
 use distger_cluster::wire::{put_u32, put_u64};
-use distger_cluster::{CommStats, Mailbox, Outbox, SocketTransport, Transport, WireReader};
+use distger_cluster::{
+    gather_trace_events, CommStats, Mailbox, Outbox, SocketTransport, Transport, WireReader,
+};
 use distger_graph::{stats::degree_distribution, CsrGraph};
 use distger_partition::Partitioning;
 
@@ -186,6 +188,11 @@ pub fn run_walks_over<T: Transport<WalkerMessage>>(
     let mut max_round_supersteps = 0u64;
 
     loop {
+        // Dropped explicitly before the trace gather below so the round's
+        // End event ships with the round it closes (not one round late, or
+        // never for the final round).
+        let round_span = distger_obs::span!("round", round = rounds);
+
         // Seed this round: a pure function of (graph, config, round), so
         // every endpoint computes the full seeding and keeps its local slice.
         let mut seeds = seed_round_inboxes(graph, partitioning, config, rounds as u64);
@@ -215,6 +222,7 @@ pub fn run_walks_over<T: Transport<WalkerMessage>>(
             }
             let mut outbox_refs: Vec<&mut Outbox<WalkerMessage>> = outboxes.iter_mut().collect();
             let mut inbox_refs: Vec<&mut Vec<WalkerMessage>> = inboxes.iter_mut().collect();
+            let _exchange_span = distger_obs::span!("exchange", round = total_supersteps);
             transport.exchange(total_supersteps, &mut outbox_refs, &mut inbox_refs)?;
         }
         max_round_supersteps = max_round_supersteps.max(round_supersteps);
@@ -266,6 +274,12 @@ pub fn run_walks_over<T: Transport<WalkerMessage>>(
         for state in &mut states {
             state.reset_round();
         }
+        drop(round_span);
+        // Cross-process trace merge: ship this round's span buffer to the
+        // coordinator while the events are fresh (bounded rings would drop
+        // the oldest rounds of a long run if we waited until the end). A
+        // no-op collective when tracing is disabled.
+        gather_trace_events(transport)?;
         if !go_on {
             break;
         }

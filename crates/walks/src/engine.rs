@@ -757,6 +757,7 @@ fn run_round_loop_supervised(
                     .map(WalkCheckpoint::decode)
                 {
                     Some(Ok(ckpt)) => {
+                        distger_obs::instant("checkpoint_restore", -1, ckpt.rounds as i64);
                         ctx.recovered_rounds += crashed_at - ckpt.rounds + 1;
                         ctx.corpus = ckpt.corpus;
                         ctx.trace = ckpt.trace;
@@ -775,6 +776,7 @@ fn run_round_loop_supervised(
                         unreachable!("in-memory checkpoint failed to decode: {err}")
                     }
                     None => {
+                        distger_obs::instant("checkpoint_restore", -1, 0);
                         ctx.recovered_rounds += crashed_at + 1;
                         ctx.corpus = Corpus::new(n);
                         ctx.trace = Vec::new();
@@ -820,6 +822,7 @@ fn run_round_loop_supervised(
                     return None;
                 }
                 if config.checkpoint.due(ctx.rounds as u64) {
+                    let _checkpoint_span = distger_obs::span!("checkpoint", round = ctx.rounds);
                     let timer = Instant::now();
                     let mut comm = ctx.base_comm.clone();
                     comm.merge(comm_so_far);

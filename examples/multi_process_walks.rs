@@ -7,6 +7,10 @@
 //! *measured* on the wire next to the [`NetworkModel`]'s analytic estimate.
 //!
 //! Run with: `cargo run --release --example multi_process_walks`
+//!
+//! Pass `-- --trace-out trace.json` to enable span tracing on all four
+//! processes and write their merged, clock-aligned timeline as Chrome
+//! trace-event JSON (load it at <https://ui.perfetto.dev>).
 
 use std::net::TcpListener;
 use std::process::Command;
@@ -24,10 +28,16 @@ fn main() {
         return;
     }
 
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| args.get(i + 1).expect("--trace-out needs a path").clone());
+
     let spec = JobSpec {
         graph_nodes: 2_000,
         machines: 4,
         seed: 7,
+        trace: trace_out.is_some(),
         ..JobSpec::default()
     };
 
@@ -80,4 +90,24 @@ fn main() {
         estimate * 1e3,
     );
     assert!(report.wire.batch_bytes_sent > 0, "wire must be measured");
+
+    if let Some(path) = trace_out {
+        // The merged timeline must carry spans from every process of the
+        // job: each endpoint stamps its events with its endpoint id as pid.
+        let mut pids: Vec<u32> = report.trace.iter().map(|e| e.pid).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        assert!(
+            pids.len() > WORKERS,
+            "merged trace covers {} process(es), expected {}",
+            pids.len(),
+            WORKERS + 1
+        );
+        std::fs::write(&path, chrome_trace_json(&report.trace)).expect("write trace file");
+        println!(
+            "trace: {} events from {} processes -> {path} (load at ui.perfetto.dev)",
+            report.trace.len(),
+            pids.len(),
+        );
+    }
 }

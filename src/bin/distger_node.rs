@@ -4,9 +4,14 @@
 //!
 //! ```text
 //! distger-node coordinator --bind 127.0.0.1:7070 --workers 3 \
-//!     [--nodes 300] [--machines 4] [--seed 7]
+//!     [--nodes 300] [--machines 4] [--seed 7] [--trace-out trace.json]
 //! distger-node worker --connect 127.0.0.1:7070 [--timeout-secs 30]
 //! ```
+//!
+//! `--trace-out` enables span tracing on every process of the job and writes
+//! the merged timeline as Chrome trace-event JSON — open it at
+//! <https://ui.perfetto.dev> to see per-machine walk, training, and
+//! communication spans on one clock-aligned timeline.
 //!
 //! The coordinator accepts `--workers` TCP connections, broadcasts the job
 //! spec, and drives the walk→train pipeline; each worker connects, receives
@@ -22,7 +27,7 @@ use distger::prelude::*;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  distger-node coordinator --bind <addr> --workers <n> \
-         [--nodes <n>] [--machines <n>] [--seed <n>]\n  \
+         [--nodes <n>] [--machines <n>] [--seed <n>] [--trace-out <path>]\n  \
          distger-node worker --connect <addr> [--timeout-secs <n>]"
     );
     ExitCode::FAILURE
@@ -64,6 +69,8 @@ fn run() -> Result<(), String> {
             if let Some(seed) = flag_value(&args, "--seed")? {
                 spec.seed = seed;
             }
+            let trace_out: Option<String> = flag_value(&args, "--trace-out")?;
+            spec.trace = trace_out.is_some();
             let listener = TcpListener::bind(&bind).map_err(|e| format!("bind {bind}: {e}"))?;
             println!(
                 "coordinator on {}: waiting for {workers} worker(s)",
@@ -72,6 +79,14 @@ fn run() -> Result<(), String> {
             let report =
                 run_coordinator(&listener, workers, &spec).map_err(|e| format!("run: {e}"))?;
             print_report(&spec, workers, &report);
+            if let Some(path) = trace_out {
+                std::fs::write(&path, chrome_trace_json(&report.trace))
+                    .map_err(|e| format!("write {path}: {e}"))?;
+                println!(
+                    "trace: {} events from the whole job -> {path} (load at ui.perfetto.dev)",
+                    report.trace.len()
+                );
+            }
             Ok(())
         }
         _ => Err(String::new()),

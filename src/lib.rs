@@ -5,6 +5,8 @@
 //! re-exports the member crates of the workspace so that an application only
 //! needs one dependency:
 //!
+//! * [`obs`] — the observability layer: metrics registry, span tracing,
+//!   Chrome-trace (Perfetto) and Prometheus exporters;
 //! * [`graph`] — CSR graph storage, synthetic generators and loaders;
 //! * [`partition`] — streaming partitioners, including the paper's MPGP;
 //! * [`cluster`] — the simulated distributed runtime (machines, BSP,
@@ -44,6 +46,7 @@ pub use distger_core as core;
 pub use distger_embed as embed;
 pub use distger_eval as eval;
 pub use distger_graph as graph;
+pub use distger_obs as obs;
 pub use distger_partition as partition;
 pub use distger_serve as serve;
 pub use distger_walks as walks;
@@ -57,8 +60,7 @@ pub use distger_walks as walks;
 pub mod prelude {
     pub use distger_cluster::{
         ClusterConfig, CommStats, ControlChannel, ExecutionBackend, InMemoryTransport,
-        NetworkModel, PhaseTimes, RecoveryPolicy, SocketTransport, Transport, TransportKind,
-        WireStats,
+        NetworkModel, RecoveryPolicy, SocketTransport, Transport, TransportKind, WireStats,
     };
     pub use distger_core::{
         launch_over_loopback, run_coordinator, run_pipeline, run_system, run_worker, DistGerConfig,
@@ -74,6 +76,10 @@ pub mod prelude {
     pub use distger_graph::{
         barabasi_albert, community_powerlaw, generate::PaperDataset, planted_partition,
         powerlaw_cluster, CsrGraph, GraphBuilder, NodeId,
+    };
+    pub use distger_obs::{
+        chrome_trace_json, set_tracing, tracing_enabled, MetricsRegistry, MetricsSnapshot,
+        PhaseTimes, Stopwatch, TraceEvent,
     };
     pub use distger_partition::{MpgpConfig, Partitioning, StreamingOrder};
     pub use distger_serve::{

@@ -1,0 +1,47 @@
+//! Tracing must be an observer, never a participant (ISSUE 9): running the
+//! identical pipeline with span tracing enabled and disabled must produce
+//! bit-identical corpora and embeddings, and the disabled path must record
+//! no events at all.
+//!
+//! This file holds *only* this test: the tracing flag is process-global, so
+//! it gets its own test binary rather than sharing one with tests that
+//! assume tracing stays off.
+
+use distger::prelude::*;
+
+#[test]
+fn tracing_on_and_off_are_bit_identical() {
+    let graph = distger::graph::community_powerlaw(300, 8, 4, 0.15, 13);
+    let mut config = DistGerConfig::distger(4).small().with_seed(5);
+    // Single-thread training: intra-machine Hogwild is the one
+    // nondeterministic ingredient, and this test needs bit-equality.
+    config.training.threads = 1;
+
+    assert!(!tracing_enabled(), "tracing must default to off");
+    let off = run_pipeline(&graph, &config);
+    assert!(
+        distger::obs::drain_all().is_empty(),
+        "a disabled-tracing run must record no events"
+    );
+
+    set_tracing(true);
+    let on = run_pipeline(&graph, &config);
+    set_tracing(false);
+    let events = distger::obs::drain_all();
+    assert!(
+        !events.is_empty(),
+        "an enabled-tracing run must record spans"
+    );
+
+    assert_eq!(off.corpus_tokens, on.corpus_tokens);
+    assert_eq!(off.walk_comm, on.walk_comm);
+    assert_eq!(off.walk_rounds, on.walk_rounds);
+    assert_eq!(off.embeddings.num_nodes(), on.embeddings.num_nodes());
+    for v in 0..graph.num_nodes() as u32 {
+        assert_eq!(
+            off.embeddings.vector(v),
+            on.embeddings.vector(v),
+            "embeddings diverged at node {v}: tracing perturbed the run"
+        );
+    }
+}
