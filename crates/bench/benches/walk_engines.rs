@@ -14,7 +14,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use distger_bench::json::{object, Value};
 use distger_bench::{bench_dataset, BenchScale, Report};
-use distger_cluster::InMemoryTransport;
+use distger_cluster::{machine_split, InMemoryTransport, SocketTransport};
 use distger_eval::recall_at_k;
 use distger_graph::generate::PaperDataset;
 use distger_graph::{barabasi_albert, CsrGraph};
@@ -22,8 +22,9 @@ use distger_partition::{
     balanced::workload_balanced_partition, mpgp_partition, MpgpConfig, Partitioning,
 };
 use distger_serve::{
-    gaussian_clusters, BatchPolicy, EmbeddingIndex, QueryBackend, QueryBatch, QueryEngine,
-    Scheduler, SchedulerConfig, SchedulerStats, ServeConfig, TopK,
+    gaussian_clusters, merge_topk, receive_shard, serve_shard, BatchPolicy, EmbeddingIndex,
+    EngineShard, QueryBackend, QueryBatch, QueryEngine, Scheduler, SchedulerConfig, SchedulerStats,
+    ServeConfig, ShardedQueryEngine, TopK,
 };
 use distger_walks::{
     run_distributed_walks, run_walks_over, run_walks_over_loopback, CheckpointPolicy,
@@ -1020,6 +1021,142 @@ fn export_reports(_c: &mut Criterion) {
         obs_speedup_report.push("enabled_over_disabled", vec![enabled / disabled]);
     }
 
+    // Part 9: sharded serving over the transport layer. Two measurements:
+    // the scatter-gather fleet's end-to-end QPS (4 endpoints over real
+    // loopback TCP serving the Part 4 query workload, answers asserted
+    // bit-identical to the single-process engine before timing), gated as an
+    // absolute catastrophic-regression floor like serve_concurrent_qps; and
+    // the coordinator's k-way bounded merge against a naive
+    // concatenate-and-resort of the same per-shard heaps (16 shards x k=10 —
+    // the merge pops only k of the 160 candidates, the resort pays for all
+    // of them), interleaved reps, gated as a genuine speedup.
+    let serve_embeddings = gaussian_clusters(20_000, 64, 40, 0.08, 97);
+    let (shard_index, shard_batch) = query_workload();
+    let shard_serve_config = query_config(QueryBackend::Lsh);
+    let shard_expected = QueryEngine::new(shard_index.clone(), shard_serve_config)
+        .top_k(shard_batch)
+        .results;
+
+    const SHARD_ENDPOINTS: usize = 4;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let shard_addr = listener.local_addr().expect("loopback addr");
+    let (sharded_qps, sharded_best) = std::thread::scope(|scope| {
+        for _ in 1..SHARD_ENDPOINTS {
+            scope.spawn(move || {
+                let mut channel =
+                    SocketTransport::worker(shard_addr, std::time::Duration::from_secs(60))
+                        .expect("connect");
+                let shard = receive_shard(&mut channel).expect("receive shard");
+                serve_shard(&mut channel, &shard, None).expect("serve loop");
+            });
+        }
+        let channel = SocketTransport::coordinator(&listener, SHARD_ENDPOINTS, SHARD_ENDPOINTS)
+            .expect("coordinator");
+        let engine = ShardedQueryEngine::new(channel, &serve_embeddings, shard_serve_config)
+            .expect("load shards");
+        let warmup = engine.top_k(shard_batch);
+        assert_eq!(
+            warmup
+                .results
+                .iter()
+                .flat_map(|t| t.neighbors())
+                .collect::<Vec<_>>(),
+            shard_expected
+                .iter()
+                .flat_map(|t| t.neighbors())
+                .collect::<Vec<_>>(),
+            "sharded answers must be bit-identical before they are timed"
+        );
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            black_box(engine.top_k(shard_batch));
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        engine.shutdown().expect("shutdown collective");
+        (shard_batch.len() as f64 / best, best)
+    });
+    let mut sharded_qps_report = Report::new(
+        "sharded_serve_qps",
+        "Scatter-gather top-k over 4 shard endpoints on loopback TCP \
+         (Part 4 fixture: 20k nodes x 64 dims, 250-query batches, LSH \
+         backend, answers bit-identical to the single-process engine; \
+         floor is a catastrophic-regression bound far below the recording)",
+        &["queries_per_sec", "queries_per_batch", "best_secs"],
+    );
+    sharded_qps_report.push(
+        "loopback_4_shards",
+        vec![sharded_qps, shard_batch.len() as f64, sharded_best],
+    );
+    println!(
+        "sharded_serve_qps/loopback_4_shards: {sharded_qps:.0} qps \
+         ({} queries in {sharded_best:.4}s best-of-{reps})",
+        shard_batch.len()
+    );
+
+    const MERGE_SHARDS: usize = 16;
+    let merge_k = shard_serve_config.k;
+    let shard_parts: Vec<Vec<TopK>> = (0..MERGE_SHARDS)
+        .map(|endpoint| {
+            let range = machine_split(serve_embeddings.num_nodes(), MERGE_SHARDS, endpoint);
+            EngineShard::from_rows(&serve_embeddings, range, shard_serve_config)
+                .top_k(shard_batch)
+                .results
+        })
+        .collect();
+    let merge_queries = shard_batch.len();
+    let mut merge_best = f64::INFINITY;
+    let mut resort_best = f64::INFINITY;
+    for _ in 0..3 * reps {
+        let start = Instant::now();
+        for q in 0..merge_queries {
+            let parts: Vec<&TopK> = shard_parts.iter().map(|s| &s[q]).collect();
+            black_box(merge_topk(&parts, merge_k));
+        }
+        merge_best = merge_best.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for q in 0..merge_queries {
+            let mut all: Vec<_> = shard_parts
+                .iter()
+                .flat_map(|s| s[q].neighbors().iter().copied())
+                .collect();
+            all.sort_unstable_by(|a, b| b.cmp(a));
+            all.truncate(merge_k);
+            black_box(all);
+        }
+        resort_best = resort_best.min(start.elapsed().as_secs_f64());
+    }
+    let mut shard_merge_report = Report::new(
+        "shard_merge",
+        "Coordinator-side gather merge: bounded k-way heap merge vs naive \
+         concatenate-and-resort of the same 16 per-shard top-10 heaps \
+         (250 queries per rep, interleaved best-of reps)",
+        &["merges_per_sec", "best_secs"],
+    );
+    shard_merge_report.push(
+        "kway_heap",
+        vec![merge_queries as f64 / merge_best, merge_best],
+    );
+    shard_merge_report.push(
+        "concat_resort",
+        vec![merge_queries as f64 / resort_best, resort_best],
+    );
+    let mut shard_merge_speedup_report = Report::new(
+        "shard_merge_speedup",
+        "Bounded k-way merge over concatenate-and-resort throughput ratio \
+         on 16 shards x k=10 (the merge inspects s + k*log(s) heads, the \
+         resort sorts all s*k candidates)",
+        &["merge_over_resort"],
+    );
+    shard_merge_speedup_report.push("merge_over_resort", vec![resort_best / merge_best]);
+    println!(
+        "shard_merge: heap {:.0}/s vs resort {:.0}/s -> {:.2}x",
+        merge_queries as f64 / merge_best,
+        merge_queries as f64 / resort_best,
+        resort_best / merge_best,
+    );
+
     let combined = object([
         ("id", Value::from("bench_walks".to_string())),
         (
@@ -1050,6 +1187,9 @@ fn export_reports(_c: &mut Criterion) {
                 transport_speedup_report.to_json(),
                 obs_report.to_json(),
                 obs_speedup_report.to_json(),
+                sharded_qps_report.to_json(),
+                shard_merge_report.to_json(),
+                shard_merge_speedup_report.to_json(),
             ]),
         ),
     ]);
@@ -1076,6 +1216,9 @@ fn export_reports(_c: &mut Criterion) {
     println!("{}", transport_speedup_report.to_text());
     println!("{}", obs_report.to_text());
     println!("{}", obs_speedup_report.to_text());
+    println!("{}", sharded_qps_report.to_text());
+    println!("{}", shard_merge_report.to_text());
+    println!("{}", shard_merge_speedup_report.to_text());
 }
 
 criterion_group!(

@@ -11,18 +11,21 @@
 //!   (end) of the same span name, properly nested, with no dangling opens;
 //! * per `(pid, tid)` timeline, timestamps never decrease (each thread's
 //!   ring records a strictly monotonic clock, and the constant per-process
-//!   offset applied by the merge preserves the order).
+//!   offset applied by the merge preserves the order);
+//! * when a `required_span` name is given, that span occurs on *every*
+//!   process in the trace (the serve-phase smoke requires `shard_scan` on
+//!   all four endpoints — proof each process actually scanned its shard).
 //!
 //! ```sh
 //! cargo run --release --example multi_process_walks -- --trace-out trace.json
-//! cargo run -p distger-bench --release --bin trace_check trace.json 4
+//! cargo run -p distger-bench --release --bin trace_check trace.json 4 shard_scan
 //! ```
 
 use distger_bench::json::Value;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-fn check(text: &str, min_pids: usize) -> Result<(), String> {
+fn check(text: &str, min_pids: usize, required_span: Option<&str>) -> Result<(), String> {
     let root = Value::parse(text).map_err(|e| format!("malformed JSON: {e}"))?;
     let events = root["traceEvents"]
         .as_array()
@@ -32,6 +35,7 @@ fn check(text: &str, min_pids: usize) -> Result<(), String> {
     }
 
     let mut pids: Vec<i64> = Vec::new();
+    let mut span_pids: Vec<i64> = Vec::new();
     let mut stacks: HashMap<(i64, i64), Vec<String>> = HashMap::new();
     let mut last_ts: HashMap<(i64, i64), f64> = HashMap::new();
     for (i, event) in events.iter().enumerate() {
@@ -52,6 +56,9 @@ fn check(text: &str, min_pids: usize) -> Result<(), String> {
             .ok_or(format!("event {i}: missing tid"))? as i64;
         if !pids.contains(&pid) {
             pids.push(pid);
+        }
+        if required_span == Some(name) && !span_pids.contains(&pid) {
+            span_pids.push(pid);
         }
         let thread = (pid, tid);
         if let Some(&prev) = last_ts.get(&thread) {
@@ -96,6 +103,18 @@ fn check(text: &str, min_pids: usize) -> Result<(), String> {
             pids.len()
         ));
     }
+    if let Some(span) = required_span {
+        let missing: Vec<i64> = pids
+            .iter()
+            .copied()
+            .filter(|pid| !span_pids.contains(pid))
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "span '{span}' missing on pid(s) {missing:?} (present on {span_pids:?})"
+            ));
+        }
+    }
     println!(
         "trace_check: {} events from {} process(es), {} thread timeline(s), all spans matched",
         events.len(),
@@ -108,7 +127,7 @@ fn check(text: &str, min_pids: usize) -> Result<(), String> {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
-        eprintln!("usage: trace_check <trace.json> [min_pids]");
+        eprintln!("usage: trace_check <trace.json> [min_pids] [required_span]");
         return ExitCode::FAILURE;
     };
     let min_pids = match args.next().map(|s| s.parse::<usize>()) {
@@ -119,6 +138,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let required_span = args.next();
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(e) => {
@@ -126,7 +146,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match check(&text, min_pids) {
+    match check(&text, min_pids, required_span.as_deref()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("trace_check: {path}: {msg}");
@@ -150,26 +170,42 @@ mod tests {
             {"name":"round","ph":"B","ts":6,"pid":1,"tid":0},
             {"name":"round","ph":"E","ts":9,"pid":1,"tid":0}
         ]}"#;
-        check(text, 2).expect("well-formed trace");
+        check(text, 2, None).expect("well-formed trace");
+        check(text, 2, Some("round")).expect("'round' is on both pids");
+    }
+
+    #[test]
+    fn requires_the_named_span_on_every_process() {
+        let text = r#"{"traceEvents":[
+            {"name":"shard_scan","ph":"B","ts":1,"pid":0,"tid":0},
+            {"name":"shard_scan","ph":"E","ts":2,"pid":0,"tid":0},
+            {"name":"round","ph":"B","ts":1,"pid":1,"tid":0},
+            {"name":"round","ph":"E","ts":2,"pid":1,"tid":0}
+        ]}"#;
+        let err = check(text, 2, Some("shard_scan")).unwrap_err();
+        assert!(err.contains("'shard_scan' missing on pid(s) [1]"), "{err}");
+        assert!(check(text, 2, Some("absent")).is_err(), "span nowhere");
     }
 
     #[test]
     fn rejects_dangling_interleaved_and_backward_traces() {
         let dangling = r#"{"traceEvents":[{"name":"round","ph":"B","ts":1,"pid":0,"tid":0}]}"#;
-        assert!(check(dangling, 1).unwrap_err().contains("never ended"));
+        assert!(check(dangling, 1, None)
+            .unwrap_err()
+            .contains("never ended"));
         let crossed = r#"{"traceEvents":[
             {"name":"a","ph":"B","ts":1,"pid":0,"tid":0},
             {"name":"b","ph":"B","ts":2,"pid":0,"tid":0},
             {"name":"a","ph":"E","ts":3,"pid":0,"tid":0}
         ]}"#;
-        assert!(check(crossed, 1).unwrap_err().contains("closes"));
+        assert!(check(crossed, 1, None).unwrap_err().contains("closes"));
         let backward = r#"{"traceEvents":[
             {"name":"a","ph":"i","ts":5,"pid":0,"tid":0},
             {"name":"b","ph":"i","ts":4,"pid":0,"tid":0}
         ]}"#;
-        assert!(check(backward, 1).unwrap_err().contains("before"));
+        assert!(check(backward, 1, None).unwrap_err().contains("before"));
         let too_few = r#"{"traceEvents":[{"name":"a","ph":"i","ts":1,"pid":0,"tid":0}]}"#;
-        assert!(check(too_few, 4)
+        assert!(check(too_few, 4, None)
             .unwrap_err()
             .contains("expected at least 4"));
     }

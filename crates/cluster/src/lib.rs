@@ -31,7 +31,6 @@ pub mod config;
 pub mod fault;
 pub mod memory;
 pub mod pool;
-pub mod timer;
 pub mod transport;
 pub mod wire;
 
@@ -49,10 +48,6 @@ pub use memory::MemoryEstimate;
 pub use pool::{
     run_rounds, run_rounds_with, BarrierPoisoned, EpochBarrier, ExecutionBackend, PoolStats,
 };
-// Wall-clock phase timing moved to distger-obs; the deprecated [`timer`]
-// shim and these re-exports keep old import paths compiling.
-#[allow(deprecated)]
-pub use timer::{PhaseTimes, Stopwatch};
 pub use transport::{
     gather_trace_events, machine_split, ControlChannel, InMemoryTransport, SocketTransport,
     Transport, TransportKind,

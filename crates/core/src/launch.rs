@@ -12,7 +12,9 @@
 //! Phases share one transport: the walk phase drives it as a full
 //! [`Transport`](distger_cluster::Transport) (superstep message batches),
 //! the training phase as a
-//! [`ControlChannel`] (parameter rows).
+//! [`ControlChannel`] (parameter rows), and the serve phase as the scatter
+//! channel of a [`ShardedQueryEngine`] — the trained embeddings never leave
+//! the cluster; each process keeps serving only its own shard of them.
 //! The final [`LaunchReport::wire`] therefore measures the whole run.
 
 use std::io;
@@ -24,6 +26,10 @@ use distger_cluster::{ControlChannel, SocketTransport, TransportKind, WireReader
 use distger_embed::{train_distributed_over, Embeddings, TrainStats};
 use distger_graph::{barabasi_albert, CsrGraph};
 use distger_partition::Partitioning;
+use distger_serve::{
+    receive_shard, serve_shard, Scheduler, SchedulerConfig, SchedulerStats, ServeConfig,
+    ShardStats, ShardedQueryEngine, TopK,
+};
 use distger_walks::{run_walks_over, WalkResult};
 
 use crate::pipeline::DistGerConfig;
@@ -54,11 +60,18 @@ pub struct JobSpec {
     /// event buffers to the coordinator at round boundaries, and the
     /// coordinator's [`LaunchReport::trace`] carries the merged timeline.
     pub trace: bool,
+    /// Self-queries served through the sharded engine after training
+    /// (spread deterministically over the node range). `0` skips the serve
+    /// phase entirely on every process.
+    pub serve_queries: u32,
+    /// `k` of each serve-phase top-k query.
+    pub serve_k: u32,
 }
 
 /// Spec wire version, bumped on any layout change.
-/// v2 added the `trace` flag.
-const JOB_SPEC_VERSION: u16 = 2;
+/// v2 added the `trace` flag; v3 the serve phase (`serve_queries`,
+/// `serve_k`).
+const JOB_SPEC_VERSION: u16 = 3;
 
 impl Default for JobSpec {
     fn default() -> Self {
@@ -71,6 +84,8 @@ impl Default for JobSpec {
             epochs: 1,
             dim: 32,
             trace: false,
+            serve_queries: 8,
+            serve_k: 5,
         }
     }
 }
@@ -88,6 +103,8 @@ impl JobSpec {
         put_u32(&mut out, self.epochs);
         put_u32(&mut out, self.dim);
         out.push(u8::from(self.trace));
+        put_u32(&mut out, self.serve_queries);
+        put_u32(&mut out, self.serve_k);
         out
     }
 
@@ -120,8 +137,16 @@ impl JobSpec {
                     ))
                 }
             },
+            serve_queries: r.u32()?,
+            serve_k: r.u32()?,
         };
         r.finish()?;
+        if spec.serve_queries > 0 && spec.serve_k == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "serve phase enabled with k = 0",
+            ));
+        }
         Ok(spec)
     }
 
@@ -152,6 +177,46 @@ impl JobSpec {
             .partitioner
             .partition(graph, self.machines as usize, self.seed)
     }
+
+    /// The serve phase's engine configuration — a pure function of the spec,
+    /// shared with harnesses that rebuild a single-process oracle to check
+    /// the sharded answers against.
+    pub fn build_serve_config(&self) -> ServeConfig {
+        ServeConfig {
+            k: self.serve_k as usize,
+            threads: 2,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// The serve phase's query nodes: `serve_queries` self-queries spread
+    /// evenly over the node range, deterministic so oracles can replay them.
+    pub fn serve_query_nodes(&self) -> Vec<u32> {
+        (0..self.serve_queries)
+            .map(|i| {
+                ((u64::from(i) * u64::from(self.graph_nodes))
+                    / u64::from(self.serve_queries.max(1))) as u32
+            })
+            .collect()
+    }
+}
+
+/// What the serve phase measured at the coordinator.
+#[derive(Clone, Debug)]
+pub struct ServeSummary {
+    /// The nodes self-queried ([`JobSpec::serve_query_nodes`]).
+    pub query_nodes: Vec<u32>,
+    /// `k` of each query.
+    pub k: u32,
+    /// One answer per query node, in `query_nodes` order — bit-identical to
+    /// a single-process engine over the same embeddings and
+    /// [`JobSpec::build_serve_config`].
+    pub results: Vec<TopK>,
+    /// Per-endpoint shard accounting (row counts, batches, scan time,
+    /// candidates scored, reply bytes), coordinator's own shard first.
+    pub shard_stats: Vec<ShardStats>,
+    /// The fronting scheduler's request statistics.
+    pub scheduler: SchedulerStats,
 }
 
 /// What the coordinator measured over a full multi-process run.
@@ -165,8 +230,12 @@ pub struct LaunchReport {
     /// Training statistics (including synchronization traffic).
     pub train_stats: TrainStats,
     /// Wire traffic measured at the coordinator over the *whole* run —
-    /// walk superstep batches plus training parameter rows.
+    /// walk superstep batches, training parameter rows, and serve-phase
+    /// shard loads / query scatters.
     pub wire: WireStats,
+    /// Serve-phase results and accounting; `None` when
+    /// [`JobSpec::serve_queries`] was zero.
+    pub serve: Option<ServeSummary>,
     /// The merged trace timeline when [`JobSpec::trace`] was set: every
     /// process's span events, clock-aligned to the coordinator and sorted by
     /// `(pid, tid, ts)`. Empty when tracing was off. Feed it to
@@ -202,6 +271,12 @@ pub fn run_coordinator(
     let (embeddings, train_stats) =
         train_distributed_over(&mut transport, Some(&walk.corpus), &config.training)?
             .expect("coordinator returns the training result");
+    let (serve, transport) = if spec.serve_queries > 0 {
+        let (serve, transport) = serve_over(transport, spec, &embeddings)?;
+        (Some(serve), transport)
+    } else {
+        (None, transport)
+    };
     let wire = transport.wire_stats();
     // The workers' round-boundary batches were absorbed during the phases;
     // draining everything here adds the coordinator's own leftover events
@@ -216,8 +291,54 @@ pub fn run_coordinator(
         embeddings,
         train_stats,
         wire,
+        serve,
         trace,
     })
+}
+
+/// Coordinator serve phase: shards the freshly averaged embeddings over the
+/// transport (each endpoint receives only its [`machine_split`]
+/// rows), fronts the sharded engine with a dynamic-batching [`Scheduler`],
+/// submits the spec's deterministic self-queries through a [`RequestClient`],
+/// and hands the transport back for the whole-run wire accounting.
+///
+/// [`machine_split`]: distger_cluster::machine_split
+/// [`RequestClient`]: distger_serve::RequestClient
+fn serve_over(
+    transport: SocketTransport,
+    spec: &JobSpec,
+    embeddings: &Embeddings,
+) -> io::Result<(ServeSummary, SocketTransport)> {
+    let engine = ShardedQueryEngine::new(transport, embeddings, spec.build_serve_config())?;
+    let scheduler = Scheduler::new(engine, SchedulerConfig::default());
+    let client = scheduler.client();
+    let query_nodes = spec.serve_query_nodes();
+    let rejected =
+        |e: distger_serve::Rejected| io::Error::other(format!("serve request rejected: {e:?}"));
+    // Submit everything before waiting so the dispatcher actually batches.
+    let pending: Vec<_> = query_nodes
+        .iter()
+        .map(|&node| client.submit(embeddings.vector(node)).map_err(rejected))
+        .collect::<io::Result<_>>()?;
+    let results: Vec<TopK> = pending
+        .into_iter()
+        .map(|p| p.wait().map_err(rejected))
+        .collect::<io::Result<_>>()?;
+    let scheduler_stats = scheduler.stats();
+    drop(client);
+    let engine = scheduler.into_engine();
+    let shard_stats = engine.shard_stats();
+    let transport = engine.shutdown()?;
+    Ok((
+        ServeSummary {
+            query_nodes,
+            k: spec.serve_k,
+            results,
+            shard_stats,
+            scheduler: scheduler_stats,
+        },
+        transport,
+    ))
 }
 
 /// Runs one worker endpoint: connects to the coordinator at `addr`, receives
@@ -237,6 +358,12 @@ pub fn run_worker(addr: SocketAddr, timeout: Duration) -> io::Result<()> {
     debug_assert!(walk.is_none(), "workers return no walk result");
     let trained = train_distributed_over(&mut transport, None, &config.training)?;
     debug_assert!(trained.is_none(), "workers return no training result");
+    if spec.serve_queries > 0 {
+        // Serve phase: receive this endpoint's shard of the trained
+        // embeddings, then answer scattered query batches until SHUTDOWN.
+        let shard = receive_shard(&mut transport)?;
+        serve_shard(&mut transport, &shard, None)?;
+    }
     Ok(())
 }
 
@@ -271,6 +398,8 @@ mod tests {
             epochs: 2,
             dim: 16,
             trace: true,
+            serve_queries: 6,
+            serve_k: 3,
         };
         let bytes = spec.encode();
         assert_eq!(JobSpec::decode(&bytes).expect("decode own encoding"), spec);
@@ -283,9 +412,41 @@ mod tests {
         let mut wrong_version = bytes.clone();
         wrong_version[0] ^= 0xff;
         assert!(JobSpec::decode(&wrong_version).is_err());
+        let trace_at = bytes.len() - 9;
         let mut bad_trace = bytes.clone();
-        *bad_trace.last_mut().unwrap() = 7;
+        bad_trace[trace_at] = 7;
         assert!(JobSpec::decode(&bad_trace).is_err(), "bad trace flag byte");
+        let mut zero_k = bytes.clone();
+        zero_k[bytes.len() - 4..].fill(0);
+        assert!(
+            JobSpec::decode(&zero_k).is_err(),
+            "serve phase with k = 0 accepted"
+        );
+        let disabled = JobSpec {
+            serve_queries: 0,
+            serve_k: 0,
+            ..spec
+        };
+        assert_eq!(
+            JobSpec::decode(&disabled.encode()).expect("decode disabled serve"),
+            disabled,
+            "k = 0 is fine while the serve phase is off"
+        );
+    }
+
+    #[test]
+    fn serve_query_nodes_spread_over_the_node_range() {
+        let spec = JobSpec {
+            graph_nodes: 100,
+            serve_queries: 4,
+            ..JobSpec::default()
+        };
+        assert_eq!(spec.serve_query_nodes(), vec![0, 25, 50, 75]);
+        let none = JobSpec {
+            serve_queries: 0,
+            ..spec
+        };
+        assert!(none.serve_query_nodes().is_empty());
     }
 
     #[test]
@@ -299,10 +460,36 @@ mod tests {
         assert_eq!(report.embeddings.num_nodes(), 150);
         assert!(report.walk.corpus.total_tokens() > 0);
         assert!(report.train_stats.pairs_processed > 0);
-        // The wire counters must cover both phases: strictly more traffic
-        // than the walk phase alone measured.
+        // The wire counters must cover all three phases: strictly more
+        // traffic than the walk phase alone measured.
         assert!(report.wire.frames_sent > report.walk.comm.wire.frames_sent);
         assert!(report.wire.batch_bytes_sent > 0);
+
+        // Serve phase: every default self-query answered, each endpoint
+        // served a shard, and the answers are bit-identical to a
+        // single-process engine over the reported embeddings.
+        let serve = report.serve.as_ref().expect("serve phase ran by default");
+        assert_eq!(serve.query_nodes, spec.serve_query_nodes());
+        assert_eq!(serve.results.len(), spec.serve_queries as usize);
+        assert_eq!(serve.shard_stats.len(), 3, "one shard per process");
+        assert_eq!(
+            serve.shard_stats.iter().map(|s| s.nodes).sum::<u64>(),
+            150,
+            "shards partition the node range"
+        );
+        assert_eq!(serve.scheduler.completed, u64::from(spec.serve_queries));
+        let oracle = distger_serve::QueryEngine::new(
+            distger_serve::EmbeddingIndex::build(&report.embeddings),
+            spec.build_serve_config(),
+        );
+        for (&node, sharded) in serve.query_nodes.iter().zip(&serve.results) {
+            let expected = oracle.top_k_one(report.embeddings.vector(node));
+            assert_eq!(
+                sharded.neighbors(),
+                expected.neighbors(),
+                "query node {node} diverged from the single-process oracle"
+            );
+        }
 
         // The walk phase is bit-identical to the in-process engine (the
         // trainer is not compared: it averages over `endpoints` replicas
@@ -315,6 +502,19 @@ mod tests {
         let classic = distger_walks::run_distributed_walks(&graph, &partitioning, &in_process);
         assert_eq!(report.walk.corpus, classic.corpus);
         assert_eq!(report.walk.comm, classic.comm);
+    }
+
+    #[test]
+    fn serve_phase_can_be_disabled() {
+        let spec = JobSpec {
+            graph_nodes: 120,
+            machines: 3,
+            serve_queries: 0,
+            ..JobSpec::default()
+        };
+        let report = launch_over_loopback(&spec, 1);
+        assert!(report.serve.is_none(), "serve_queries = 0 skips the phase");
+        assert_eq!(report.embeddings.num_nodes(), 120);
     }
 
     #[test]

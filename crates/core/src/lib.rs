@@ -22,6 +22,8 @@ pub mod launch;
 pub mod pipeline;
 pub mod system;
 
-pub use launch::{launch_over_loopback, run_coordinator, run_worker, JobSpec, LaunchReport};
+pub use launch::{
+    launch_over_loopback, run_coordinator, run_worker, JobSpec, LaunchReport, ServeSummary,
+};
 pub use pipeline::{run_pipeline, DistGerConfig, PartitionerChoice, PipelineResult};
 pub use system::{run_system, RunScale, SystemKind, SystemRun};

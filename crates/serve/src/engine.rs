@@ -196,6 +196,32 @@ pub struct BatchResults {
     pub stats: QueryStats,
 }
 
+/// Anything the request [`Scheduler`](crate::schedule::Scheduler) can put
+/// its dynamic batches in front of: the single-process [`QueryEngine`] (one
+/// pool-chunked scan) or the
+/// [`ShardedQueryEngine`](crate::shard::ShardedQueryEngine) (batches fan out
+/// per shard over the transport). Implementations must uphold the
+/// scheduler's transparency contract — `serve` answers every query of the
+/// batch deterministically, in batch order — and may panic to signal a
+/// fail-stop fault (the scheduler catches it and surfaces the payload).
+pub trait ServeEngine: Send + Sync + 'static {
+    /// Query dimension the engine accepts.
+    fn dim(&self) -> usize;
+
+    /// Answers every query of `batch`.
+    fn serve(&self, batch: &QueryBatch) -> BatchResults;
+}
+
+impl ServeEngine for QueryEngine {
+    fn dim(&self) -> usize {
+        self.index.dim()
+    }
+
+    fn serve(&self, batch: &QueryBatch) -> BatchResults {
+        self.top_k(batch)
+    }
+}
+
 /// Per-worker reusable state leased from the engine's scratch pool for the
 /// duration of one batch: LSH probe scratch, candidate buffer, and the
 /// query-normalization buffer.

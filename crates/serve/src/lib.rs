@@ -32,7 +32,19 @@
 //!   `max_inflight`, serves hot queries from an LRU cache, and reports
 //!   latency/batch/shed statistics ([`SchedulerStats`]). Time is injected
 //!   through the [`Clock`] trait ([`clock`]) so deadline behavior is
-//!   deterministically testable on a [`VirtualClock`].
+//!   deterministically testable on a [`VirtualClock`]. The scheduler fronts
+//!   any [`ServeEngine`] — the in-process [`QueryEngine`] or the sharded
+//!   engine below.
+//!
+//! * [`ShardedQueryEngine`] — multi-machine serving ([`shard`]): the index
+//!   is split by the same contiguous
+//!   [`machine_split`](distger_cluster::machine_split) ranges the walk and
+//!   train phases shard by, each endpoint of a
+//!   [`ControlChannel`](distger_cluster::ControlChannel) builds a
+//!   [`QueryEngine`] over only its rows, and the coordinator
+//!   scatters each batch / gathers bounded per-shard heaps / k-way merges
+//!   ([`merge_topk`]) into answers **bit-identical** to a single-process
+//!   `top_k` over the whole index.
 //!
 //! `recall@k` of the LSH backend against the exact reference is evaluated by
 //! `distger-eval`'s `recall` module and enforced (together with the LSH QPS
@@ -47,15 +59,22 @@ pub mod index;
 pub mod lsh;
 mod normal;
 pub mod schedule;
+pub mod shard;
 pub mod topk;
 
 pub use clock::{Clock, SystemClock, VirtualClock};
-pub use engine::{BatchResults, QueryBackend, QueryBatch, QueryEngine, QueryStats, ServeConfig};
+pub use engine::{
+    BatchResults, QueryBackend, QueryBatch, QueryEngine, QueryStats, ServeConfig, ServeEngine,
+};
 pub use fixtures::gaussian_clusters;
 pub use index::EmbeddingIndex;
 pub use lsh::{LshConfig, LshIndex, ProbeScratch};
 pub use schedule::{
     BatchPolicy, Log2Histogram, PendingQuery, Rejected, RequestClient, Scheduler, SchedulerConfig,
     SchedulerStats,
+};
+pub use shard::{
+    distribute_shards, merge_topk, receive_shard, serve_shard, EngineShard, ShardStats,
+    ShardedQueryEngine,
 };
 pub use topk::{BoundedTopK, Neighbor, TopK};

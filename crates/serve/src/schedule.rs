@@ -48,7 +48,7 @@
 
 use crate::cache::QueryCache;
 use crate::clock::{Clock, SystemClock, IDLE};
-use crate::engine::{QueryBatch, QueryEngine};
+use crate::engine::{QueryBatch, QueryEngine, ServeEngine};
 use crate::index::normalize_into;
 use crate::topk::TopK;
 use distger_cluster::{panic_message, FaultInjector};
@@ -268,17 +268,17 @@ struct SchedState {
     stats: SchedulerStats,
 }
 
-struct Shared<C: Clock> {
+struct Shared<C: Clock, E: ServeEngine> {
     state: Mutex<SchedState>,
     clock: C,
-    engine: QueryEngine,
+    engine: E,
     config: SchedulerConfig,
     /// Clock time at scheduler creation; `stats.elapsed` is measured from
     /// here.
     started: Duration,
 }
 
-impl<C: Clock> Shared<C> {
+impl<C: Clock, E: ServeEngine> Shared<C, E> {
     /// State lock, poison-recovering like `cluster::pool`: every field is
     /// valid in any state (counters, a queue, a cache), and the shutdown
     /// path *must* acquire this lock after a dispatcher panic to drain the
@@ -299,7 +299,7 @@ fn drain_queue(state: &mut SchedState) {
 }
 
 /// The dispatcher loop; see the module docs for the state machine.
-fn dispatch<C: Clock>(shared: &Shared<C>) {
+fn dispatch<C: Clock, E: ServeEngine>(shared: &Shared<C, E>) {
     let policy = shared.config.batch;
     loop {
         let mut state = shared.lock();
@@ -329,7 +329,7 @@ fn dispatch<C: Clock>(shared: &Shared<C>) {
         // The "batch" span covers flush → engine → answers delivered; the
         // queued→flushed wait is visible as the gap since "request_queued".
         let _batch_span = distger_obs::span!("batch", round = batch_index);
-        let mut batch = QueryBatch::new(shared.engine.index().dim());
+        let mut batch = QueryBatch::new(shared.engine.dim());
         for request in &requests {
             batch.push(&request.query);
         }
@@ -337,7 +337,7 @@ fn dispatch<C: Clock>(shared: &Shared<C>) {
             if let Some(injector) = &shared.config.faults {
                 injector.trip(0, batch_index, 0);
             }
-            shared.engine.top_k(&batch)
+            shared.engine.serve(&batch)
         }));
 
         match outcome {
@@ -375,29 +375,31 @@ fn dispatch<C: Clock>(shared: &Shared<C>) {
     }
 }
 
-/// The serving front door: owns the [`QueryEngine`] and the dispatcher
-/// thread; hand out [`RequestClient`]s via [`client`](Scheduler::client).
-/// Dropping it shuts the dispatcher down and errors all in-flight requests
-/// with [`Rejected::Shutdown`].
-pub struct Scheduler<C: Clock = SystemClock> {
-    shared: Arc<Shared<C>>,
+/// The serving front door: owns the engine (any [`ServeEngine`] — the
+/// single-process [`QueryEngine`] by default, or the sharded scatter-gather
+/// engine, whose batches fan out per shard instead of per pool chunk) and
+/// the dispatcher thread; hand out [`RequestClient`]s via
+/// [`client`](Scheduler::client). Dropping it shuts the dispatcher down and
+/// errors all in-flight requests with [`Rejected::Shutdown`].
+pub struct Scheduler<C: Clock = SystemClock, E: ServeEngine = QueryEngine> {
+    shared: Arc<Shared<C, E>>,
     dispatcher: Option<JoinHandle<()>>,
 }
 
-impl Scheduler<SystemClock> {
+impl<E: ServeEngine> Scheduler<SystemClock, E> {
     /// A scheduler on wall-clock time.
-    pub fn new(engine: QueryEngine, config: SchedulerConfig) -> Self {
+    pub fn new(engine: E, config: SchedulerConfig) -> Self {
         Self::with_clock(engine, config, SystemClock::default())
     }
 }
 
-impl<C: Clock> Scheduler<C> {
+impl<C: Clock, E: ServeEngine> Scheduler<C, E> {
     /// A scheduler on an injected clock ([`VirtualClock`](crate::VirtualClock)
     /// in tests).
     ///
     /// # Panics
     /// Panics if `config.batch.max_batch` or `config.max_inflight` is zero.
-    pub fn with_clock(engine: QueryEngine, config: SchedulerConfig, clock: C) -> Self {
+    pub fn with_clock(engine: E, config: SchedulerConfig, clock: C) -> Self {
         assert!(config.batch.max_batch > 0, "need max_batch >= 1");
         assert!(config.max_inflight > 0, "need max_inflight >= 1");
         let started = clock.now();
@@ -427,15 +429,40 @@ impl<C: Clock> Scheduler<C> {
     }
 
     /// A handle for submitting queries; clone freely across caller threads.
-    pub fn client(&self) -> RequestClient<C> {
+    pub fn client(&self) -> RequestClient<C, E> {
         RequestClient {
             shared: Arc::clone(&self.shared),
         }
     }
 
     /// The engine being fronted.
-    pub fn engine(&self) -> &QueryEngine {
+    pub fn engine(&self) -> &E {
         &self.shared.engine
+    }
+
+    /// Shuts the scheduler down (dispatcher joined, every queued request
+    /// errored with [`Rejected::Shutdown`], exactly as on drop) and hands
+    /// the engine back — the multi-process serve phase needs its
+    /// [`ShardedQueryEngine`](crate::shard::ShardedQueryEngine) back to run
+    /// the shutdown collective and recover the transport.
+    ///
+    /// # Panics
+    /// Panics if a [`RequestClient`] is still alive: clients keep the engine
+    /// reachable, so drop them all first.
+    pub fn into_engine(mut self) -> E {
+        self.shared.lock().shutdown = true;
+        self.shared.clock.wake();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+        let shared = Arc::clone(&self.shared);
+        // Drop runs on an already-shut scheduler: dispatcher is None, the
+        // shutdown flag is idempotent. This releases `self`'s Arc.
+        drop(self);
+        match Arc::try_unwrap(shared) {
+            Ok(shared) => shared.engine,
+            Err(_) => panic!("drop every RequestClient before into_engine"),
+        }
     }
 
     /// A snapshot of the scheduler's counters and distributions.
@@ -451,7 +478,7 @@ impl<C: Clock> Scheduler<C> {
     }
 }
 
-impl<C: Clock> Drop for Scheduler<C> {
+impl<C: Clock, E: ServeEngine> Drop for Scheduler<C, E> {
     fn drop(&mut self) {
         self.shared.lock().shutdown = true;
         self.shared.clock.wake();
@@ -466,11 +493,11 @@ impl<C: Clock> Drop for Scheduler<C> {
 
 /// A cloneable submit handle onto a [`Scheduler`]. Outliving the scheduler
 /// is safe: submits after shutdown fail fast with [`Rejected::Shutdown`].
-pub struct RequestClient<C: Clock = SystemClock> {
-    shared: Arc<Shared<C>>,
+pub struct RequestClient<C: Clock = SystemClock, E: ServeEngine = QueryEngine> {
+    shared: Arc<Shared<C, E>>,
 }
 
-impl<C: Clock> Clone for RequestClient<C> {
+impl<C: Clock, E: ServeEngine> Clone for RequestClient<C, E> {
     fn clone(&self) -> Self {
         Self {
             shared: Arc::clone(&self.shared),
@@ -478,7 +505,7 @@ impl<C: Clock> Clone for RequestClient<C> {
     }
 }
 
-impl<C: Clock> RequestClient<C> {
+impl<C: Clock, E: ServeEngine> RequestClient<C, E> {
     /// Submits one query; returns a [`PendingQuery`] to wait on, or fails
     /// fast when overloaded or shut down. Never blocks on the engine.
     ///
@@ -486,7 +513,7 @@ impl<C: Clock> RequestClient<C> {
     /// Panics if `query.len()` differs from the index dimension (the same
     /// contract as [`QueryEngine::top_k`]).
     pub fn submit(&self, query: &[f32]) -> Result<PendingQuery, Rejected> {
-        let dim = self.shared.engine.index().dim();
+        let dim = self.shared.engine.dim();
         assert_eq!(query.len(), dim, "query dimension does not match the index");
         // The cache key is the bit image of the *normalized* query (see
         // `cache`); the raw query is what gets enqueued for the engine.

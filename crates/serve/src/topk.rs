@@ -60,6 +60,18 @@ pub struct TopK {
 }
 
 impl TopK {
+    /// Builds a result list from neighbors already in best-first order
+    /// (descending score, ties by ascending node id) — the shard merge and
+    /// the reply decoder produce rows in exactly that order, so re-sorting
+    /// here would only obscure the invariant they are proven to keep.
+    pub(crate) fn from_sorted(neighbors: Vec<Neighbor>) -> Self {
+        debug_assert!(
+            neighbors.windows(2).all(|w| w[0] >= w[1]),
+            "neighbors must arrive best-first"
+        );
+        Self { neighbors }
+    }
+
     /// The results, best first.
     pub fn neighbors(&self) -> &[Neighbor] {
         &self.neighbors

@@ -1,10 +1,13 @@
-//! Multi-process walk→train run over loopback TCP.
+//! Multi-process walk→train→serve run over loopback TCP.
 //!
 //! The example re-executes itself as four worker *processes* (`--worker
 //! <addr>`), each connecting a [`SocketTransport`] back to the coordinator.
-//! Every superstep's message batches and every training synchronization
-//! cross real OS sockets, and the coordinator reports the traffic it
-//! *measured* on the wire next to the [`NetworkModel`]'s analytic estimate.
+//! Every superstep's message batches, every training synchronization, and
+//! every serve-phase query scatter cross real OS sockets; the coordinator
+//! reports the traffic it *measured* on the wire next to the
+//! [`NetworkModel`]'s analytic estimate, and checks the sharded serving
+//! answers bit-for-bit against a single-process engine over the same
+//! embeddings.
 //!
 //! Run with: `cargo run --release --example multi_process_walks`
 //!
@@ -90,6 +93,40 @@ fn main() {
         estimate * 1e3,
     );
     assert!(report.wire.batch_bytes_sent > 0, "wire must be measured");
+
+    // Serve phase: the trained embeddings stayed sharded across the four
+    // processes, yet the scatter-gather answers must be bit-identical to one
+    // engine holding the whole index.
+    let serve = report.serve.as_ref().expect("serve phase ran");
+    assert_eq!(serve.results.len(), spec.serve_queries as usize);
+    assert_eq!(
+        serve.shard_stats.len(),
+        WORKERS + 1,
+        "one shard per process"
+    );
+    let oracle = QueryEngine::new(
+        EmbeddingIndex::build(&report.embeddings),
+        spec.build_serve_config(),
+    );
+    for (&node, sharded) in serve.query_nodes.iter().zip(&serve.results) {
+        let expected = oracle.top_k_one(report.embeddings.vector(node));
+        assert_eq!(
+            sharded.neighbors(),
+            expected.neighbors(),
+            "sharded answer for node {node} diverged from the single-process engine"
+        );
+    }
+    println!(
+        "serve: {} top-{} queries over {} shards, {} candidates scored, answers bit-identical",
+        serve.results.len(),
+        serve.k,
+        serve.shard_stats.len(),
+        serve
+            .shard_stats
+            .iter()
+            .map(|s| s.candidates_scored)
+            .sum::<u64>(),
+    );
 
     if let Some(path) = trace_out {
         // The merged timeline must carry spans from every process of the

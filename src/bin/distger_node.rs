@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! distger-node coordinator --bind 127.0.0.1:7070 --workers 3 \
-//!     [--nodes 300] [--machines 4] [--seed 7] [--trace-out trace.json]
+//!     [--nodes 300] [--machines 4] [--seed 7] [--trace-out trace.json] \
+//!     [--serve-queries 8] [--serve-k 5]
 //! distger-node worker --connect 127.0.0.1:7070 [--timeout-secs 30]
 //! ```
 //!
@@ -14,8 +15,10 @@
 //! communication spans on one clock-aligned timeline.
 //!
 //! The coordinator accepts `--workers` TCP connections, broadcasts the job
-//! spec, and drives the walk→train pipeline; each worker connects, receives
-//! the spec, and serves its share of machines. See
+//! spec, and drives the walk→train→serve pipeline; each worker connects,
+//! receives the spec, serves its share of machines, then keeps serving its
+//! shard of the trained embeddings until the coordinator's serve phase shuts
+//! down (`--serve-queries 0` skips serving). See
 //! `examples/multi_process_walks.rs` for a self-contained launch.
 
 use std::net::TcpListener;
@@ -27,7 +30,8 @@ use distger::prelude::*;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  distger-node coordinator --bind <addr> --workers <n> \
-         [--nodes <n>] [--machines <n>] [--seed <n>] [--trace-out <path>]\n  \
+         [--nodes <n>] [--machines <n>] [--seed <n>] [--trace-out <path>] \
+         [--serve-queries <n>] [--serve-k <n>]\n  \
          distger-node worker --connect <addr> [--timeout-secs <n>]"
     );
     ExitCode::FAILURE
@@ -69,6 +73,12 @@ fn run() -> Result<(), String> {
             if let Some(seed) = flag_value(&args, "--seed")? {
                 spec.seed = seed;
             }
+            if let Some(queries) = flag_value(&args, "--serve-queries")? {
+                spec.serve_queries = queries;
+            }
+            if let Some(k) = flag_value(&args, "--serve-k")? {
+                spec.serve_k = k;
+            }
             let trace_out: Option<String> = flag_value(&args, "--trace-out")?;
             spec.trace = trace_out.is_some();
             let listener = TcpListener::bind(&bind).map_err(|e| format!("bind {bind}: {e}"))?;
@@ -107,6 +117,20 @@ fn print_report(spec: &JobSpec, workers: usize, report: &LaunchReport) {
         report.embeddings.num_nodes(),
         report.embeddings.dim(),
     );
+    if let Some(serve) = &report.serve {
+        println!(
+            "served {} top-{} queries over {} shard(s): {} candidates scored, {} reply bytes",
+            serve.results.len(),
+            serve.k,
+            serve.shard_stats.len(),
+            serve
+                .shard_stats
+                .iter()
+                .map(|s| s.candidates_scored)
+                .sum::<u64>(),
+            serve.shard_stats.iter().map(|s| s.reply_bytes).sum::<u64>(),
+        );
+    }
     println!(
         "wire: {} frames, {} payload bytes ({} walk-batch bytes), {:.3} ms on the wire",
         report.wire.frames_sent,

@@ -64,7 +64,8 @@ pub mod prelude {
     };
     pub use distger_core::{
         launch_over_loopback, run_coordinator, run_pipeline, run_system, run_worker, DistGerConfig,
-        JobSpec, LaunchReport, PartitionerChoice, PipelineResult, RunScale, SystemKind,
+        JobSpec, LaunchReport, PartitionerChoice, PipelineResult, RunScale, ServeSummary,
+        SystemKind,
     };
     pub use distger_embed::{
         train_distributed, train_distributed_over, train_distributed_over_loopback, Embeddings,
@@ -83,8 +84,9 @@ pub mod prelude {
     };
     pub use distger_partition::{MpgpConfig, Partitioning, StreamingOrder};
     pub use distger_serve::{
-        BatchPolicy, EmbeddingIndex, LshConfig, QueryBackend, QueryBatch, QueryEngine,
-        RequestClient, Scheduler, SchedulerConfig, ServeConfig, TopK,
+        merge_topk, receive_shard, serve_shard, BatchPolicy, EmbeddingIndex, EngineShard,
+        LshConfig, QueryBackend, QueryBatch, QueryEngine, RequestClient, Scheduler,
+        SchedulerConfig, ServeConfig, ServeEngine, ShardStats, ShardedQueryEngine, TopK,
     };
     pub use distger_walks::{
         run_distributed_walks, run_walks_over, run_walks_over_loopback, CheckpointPolicy, Corpus,
